@@ -1,0 +1,102 @@
+// Reproduces paper Figure 3: partial checkpointing with long-running
+// transactions, under write-locality skew.
+//   3(a) throughput over time, 10% of records modified between checkpoints
+//   3(b) same with 20%
+//   3(c) transactions lost
+//
+// Expected shape (paper §5.1.2): same relative ordering as Figure 2, but
+// capture windows shrink for everyone since only modified records are
+// written; as skew tightens, CALC's advantage grows because baseline
+// overhead and physical-point-of-consistency cost start to dominate.
+//
+// Flags: --records --seconds --threads --disk_mbps --skews=0.10,0.20
+//        --long_frac --long_dur_ms --algos=...
+
+#include "bench/bench_common.h"
+
+using namespace calcdb;
+using namespace calcdb::bench;
+
+namespace {
+
+void RunSkew(const Flags& flags, double skew, char label) {
+  RunConfig base = ConfigFromFlags(flags);
+  base.micro.hot_fraction = skew;
+  base.micro.long_txn_fraction = flags.Double("long_frac", 0.0002);
+  base.micro.long_txn_duration_us =
+      static_cast<int64_t>(flags.Double("long_dur_ms", 1000.0) * 1000.0);
+  base.micro.long_txn_keys =
+      static_cast<uint32_t>(flags.Int("long_keys", 500));
+  base.ckpt_at = {base.seconds * 0.18, base.seconds * 0.58};
+  // Partial algorithms need a base full checkpoint to merge onto.
+  base.base_checkpoint = true;
+
+  std::printf("\n=== Figure 3(%c): partial checkpointing, %.0f%% of "
+              "records modified, long transactions ===\n",
+              label, skew * 100);
+
+  std::vector<CheckpointAlgorithm> algos = AlgorithmsFromFlag(
+      flags, "none,pcalc,pipp,pfuzzy,pnaive,pzigzag");
+
+  RunResult baseline;
+  std::vector<RunResult> runs;
+  for (CheckpointAlgorithm algo : algos) {
+    RunConfig config = base;
+    config.algorithm = algo;
+    std::printf("running %s...\n", AlgorithmName(algo));
+    std::fflush(stdout);
+    RunResult result = RunMicrobenchExperiment(config);
+    if (algo == CheckpointAlgorithm::kNone) {
+      baseline = std::move(result);
+    } else {
+      runs.push_back(std::move(result));
+    }
+  }
+
+  std::printf("\n--- Figure 3(%c): throughput over time (txns/sec) ---\n",
+              label);
+  std::vector<RunResult> table;
+  table.push_back(baseline);
+  for (const RunResult& r : runs) table.push_back(r);
+  PrintThroughputTable(table);
+
+  std::printf("\n--- Figure 3(c): transactions lost (%.0f%% skew) ---\n",
+              skew * 100);
+  PrintTransactionsLost(baseline, runs);
+
+  std::printf("\n--- checkpoint cycle stats (partial sizes) ---\n");
+  std::printf("%-10s %6s %12s %12s %12s %12s\n", "algo", "ckpt",
+              "records", "MB", "quiesce_ms", "capture_ms");
+  for (const RunResult& r : runs) {
+    for (size_t i = 0; i < r.cycles.size(); ++i) {
+      const CheckpointCycleStats& c = r.cycles[i];
+      std::printf("%-10s %6zu %12llu %12.1f %12.1f %12.1f\n",
+                  r.name.c_str(), i + 1,
+                  static_cast<unsigned long long>(c.records_written),
+                  static_cast<double>(c.bytes_written) / 1048576.0,
+                  static_cast<double>(c.quiesce_micros) / 1000.0,
+                  static_cast<double>(c.capture_micros) / 1000.0);
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  WarmUp(ConfigFromFlags(flags));
+  std::string skews = flags.Str("skews", "0.10,0.20");
+  char label = 'a';
+  size_t pos = 0;
+  while (pos < skews.size()) {
+    size_t comma = skews.find(',', pos);
+    if (comma == std::string::npos) comma = skews.size();
+    double skew = std::atof(skews.substr(pos, comma - pos).c_str());
+    if (skew > 0) {
+      RunSkew(flags, skew, label);
+      ++label;
+    }
+    pos = comma + 1;
+  }
+  return 0;
+}

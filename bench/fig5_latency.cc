@@ -1,0 +1,130 @@
+// Reproduces paper Figure 5: transaction latency distributions.
+//   5(a) CDF, no long transactions, 90% of peak load
+//   5(b) CDF, long transactions,    90% of peak load
+//   5(c) CDF, no long transactions, 70% of peak load
+//   5(d) CDF, long transactions,    70% of peak load
+//
+// Method (paper §5.1.4): an open-loop driver injects transactions at a
+// fixed fraction of the measured peak rate while one checkpoint runs at
+// 30% of the window; latency is scheduled-arrival to commit, so the
+// backlog built during a quiesce shows up in every later transaction's
+// latency when the system has no headroom (90%) and drains when it does
+// (70%).
+//
+// Expected shape: Naive worst (longest quiesce), Fuzzy next; Zigzag/IPP
+// clean in (a)/(c) but degraded in (b)/(d) (drain to a physical point of
+// consistency under long transactions); CALC indistinguishable from None
+// in all four.
+//
+// Flags: --records --seconds --threads --disk_mbps --loads=0.9,0.7
+//        --algos=...
+
+#include "bench/bench_common.h"
+
+using namespace calcdb;
+using namespace calcdb::bench;
+
+namespace {
+
+// Measures peak throughput with a short closed-loop None run.
+double MeasurePeakRate(const Flags& flags) {
+  RunConfig config = ConfigFromFlags(flags);
+  config.algorithm = CheckpointAlgorithm::kNone;
+  config.seconds = static_cast<int>(flags.Int("calib_seconds", 5));
+  RunResult result = RunMicrobenchExperiment(config);
+  // Drop the first second (warm-up).
+  uint64_t sum = 0;
+  int n = 0;
+  for (size_t s = 1; s < result.per_second.size(); ++s) {
+    sum += result.per_second[s];
+    ++n;
+  }
+  return n > 0 ? static_cast<double>(sum) / n : 1000.0;
+}
+
+void RunQuadrant(const Flags& flags, bool long_txns, double load,
+                 double peak_rate, char label) {
+  RunConfig base = ConfigFromFlags(flags);
+  base.seconds = static_cast<int>(flags.Int("seconds", 10));
+  if (long_txns) {
+    base.micro.long_txn_fraction = flags.Double("long_frac", 0.0002);
+    base.micro.long_txn_duration_us =
+        static_cast<int64_t>(flags.Double("long_dur_ms", 800.0) * 1000.0);
+    base.micro.long_txn_keys =
+        static_cast<uint32_t>(flags.Int("long_keys", 500));
+  }
+  base.open_loop_rate = peak_rate * load;
+  base.ckpt_at = {base.seconds * 0.3};
+
+  std::printf("\n=== Figure 5(%c): latency CDF, %s, %.0f%% load "
+              "(%.0f txns/sec) ===\n",
+              label, long_txns ? "long xacts" : "no long xacts",
+              load * 100, base.open_loop_rate);
+
+  std::vector<CheckpointAlgorithm> algos =
+      AlgorithmsFromFlag(flags, "none,calc,zigzag,ipp,fuzzy,naive");
+  std::vector<RunResult> runs;
+  for (CheckpointAlgorithm algo : algos) {
+    RunConfig config = base;
+    config.algorithm = algo;
+    std::printf("running %s...\n", AlgorithmName(algo));
+    std::fflush(stdout);
+    runs.push_back(RunMicrobenchExperiment(config));
+  }
+
+  std::printf("\nlatency CDF: fraction of txns with latency <= L\n");
+  std::printf("%-12s", "L");
+  for (const RunResult& r : runs) std::printf("%10s", r.name.c_str());
+  std::printf("\n");
+  const std::vector<int64_t>& points = runs[0].latency_cdf_points;
+  for (size_t i = 0; i < points.size(); ++i) {
+    if (points[i] >= 1000000) {
+      std::printf("%-12s", (std::to_string(points[i] / 1000000) + "s").c_str());
+    } else {
+      std::printf("%-12s",
+                  (std::to_string(points[i] / 1000) + "ms").c_str());
+    }
+    for (const RunResult& r : runs) {
+      std::printf("%10.4f", r.latency_cdf[i]);
+    }
+    std::printf("\n");
+  }
+  std::printf("\npercentiles (us):\n%-10s %10s %10s %10s\n", "algo", "p50",
+              "p99", "p999");
+  for (const RunResult& r : runs) {
+    std::printf("%-10s %10lld %10lld %10lld\n", r.name.c_str(),
+                static_cast<long long>(r.p50_us),
+                static_cast<long long>(r.p99_us),
+                static_cast<long long>(r.p999_us));
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  std::printf("=== Figure 5: latency distributions ===\n");
+  WarmUp(ConfigFromFlags(flags));
+  std::printf("calibrating peak throughput...\n");
+  std::fflush(stdout);
+  double peak = MeasurePeakRate(flags);
+  std::printf("measured peak: %.0f txns/sec\n", peak);
+
+  std::vector<double> loads;
+  {
+    std::string s = flags.Str("loads", "0.9,0.7");
+    size_t pos = 0;
+    while (pos < s.size()) {
+      size_t comma = s.find(',', pos);
+      if (comma == std::string::npos) comma = s.size();
+      loads.push_back(std::atof(s.substr(pos, comma - pos).c_str()));
+      pos = comma + 1;
+    }
+  }
+  char label = 'a';
+  for (double load : loads) {
+    RunQuadrant(flags, /*long_txns=*/false, load, peak, label++);
+    RunQuadrant(flags, /*long_txns=*/true, load, peak, label++);
+  }
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Reproduces paper Figure 8 (Appendix A / §5.1.5): CALC scalability with
+// database size.
+//   8(a) checkpoint duration vs database size
+//   8(b) total transactions lost vs database size
+//
+// Expected shape: both are linear in database size — "the recording of a
+// checkpoint is limited by disk bandwidth in our system, [so] the time to
+// complete a checkpoint is a direct measure of total disk IO". The paper
+// sweeps 10/50/100/150M records; this harness sweeps the same 1:5:10:15
+// proportions scaled by --base_records.
+//
+// Flags: --base_records --seconds --threads --disk_mbps --algo=calc
+
+#include "bench/bench_common.h"
+
+using namespace calcdb;
+using namespace calcdb::bench;
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  uint64_t base_records =
+      static_cast<uint64_t>(flags.Int("base_records", 40000));
+  CheckpointAlgorithm algo = CheckpointAlgorithm::kCalc;
+  ParseAlgorithm(flags.Str("algo", "calc"), &algo);
+
+  std::printf("=== Figure 8: %s scalability with database size ===\n",
+              AlgorithmName(algo));
+  std::printf("sweep: 1x/5x/10x/15x of %llu records (paper: "
+              "10M/50M/100M/150M), one checkpoint per run\n",
+              static_cast<unsigned long long>(base_records));
+  {
+    RunConfig w = ConfigFromFlags(flags);
+    w.micro.num_records = base_records;
+    WarmUp(w);
+  }
+
+  struct Row {
+    uint64_t records;
+    double duration_s;
+    int64_t lost;
+    uint64_t committed;
+    uint64_t baseline;
+  };
+  std::vector<Row> rows;
+
+  for (uint64_t mult : {1, 5, 10, 15}) {
+    uint64_t records = base_records * mult;
+    RunConfig config = ConfigFromFlags(flags);
+    config.micro.num_records = records;
+    config.seconds = static_cast<int>(flags.Int("seconds", 14));
+    config.ckpt_at = {config.seconds * 0.15};
+
+    std::printf("running None @ %llu records...\n",
+                static_cast<unsigned long long>(records));
+    std::fflush(stdout);
+    RunConfig none_cfg = config;
+    none_cfg.algorithm = CheckpointAlgorithm::kNone;
+    RunResult baseline = RunMicrobenchExperiment(none_cfg);
+
+    std::printf("running %s @ %llu records...\n", AlgorithmName(algo),
+                static_cast<unsigned long long>(records));
+    std::fflush(stdout);
+    config.algorithm = algo;
+    RunResult result = RunMicrobenchExperiment(config);
+
+    Row row;
+    row.records = records;
+    row.duration_s =
+        result.cycles.empty()
+            ? 0
+            : static_cast<double>(result.cycles[0].capture_micros) / 1e6;
+    row.committed = result.total_committed;
+    row.baseline = baseline.total_committed;
+    row.lost = static_cast<int64_t>(baseline.total_committed) -
+               static_cast<int64_t>(result.total_committed);
+    rows.push_back(row);
+  }
+
+  std::printf("\n--- Figure 8(a): checkpoint duration ---\n");
+  std::printf("%-14s %16s %18s\n", "records", "duration_s",
+              "duration/records");
+  for (const Row& row : rows) {
+    std::printf("%-14llu %16.2f %18.3e\n",
+                static_cast<unsigned long long>(row.records),
+                row.duration_s,
+                row.duration_s / static_cast<double>(row.records));
+  }
+
+  std::printf("\n--- Figure 8(b): transactions lost ---\n");
+  std::printf("%-14s %14s %14s %12s\n", "records", "baseline",
+              "committed", "txns_lost");
+  for (const Row& row : rows) {
+    std::printf("%-14llu %14llu %14llu %12lld\n",
+                static_cast<unsigned long long>(row.records),
+                static_cast<unsigned long long>(row.baseline),
+                static_cast<unsigned long long>(row.committed),
+                static_cast<long long>(row.lost));
+  }
+  std::printf("\nlinearity check: duration/records should be constant "
+              "across the sweep (disk-bandwidth-bound capture).\n");
+  return 0;
+}

@@ -1,0 +1,219 @@
+// MMO game-world scenario — the application domain Cao et al.'s Zigzag and
+// Ping-Pong were designed for (paper §1), and the one that motivates
+// CALC's key difference: those algorithms need a *physical* point of
+// consistency (no transaction in flight), which a world with long-running
+// actions cannot cheaply provide.
+//
+// The world: players move and trade every tick; occasionally a "raid"
+// transaction touches many entities and runs for a long time. We take a
+// world snapshot with Zigzag (must drain the raid first — the world
+// freezes) and with CALC (virtual point of consistency — the world keeps
+// ticking), and report the longest service stall each algorithm caused.
+//
+// Run: ./build/examples/example_game_world
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "db/database.h"
+#include "txn/txn_context.h"
+#include "util/clock.h"
+#include "util/rng.h"
+
+using namespace calcdb;
+
+namespace {
+
+constexpr uint32_t kMoveProcId = 1;
+constexpr uint32_t kRaidProcId = 2;
+constexpr uint64_t kNumEntities = 50000;
+// Players act in the town; raids happen in the dungeon. Disjoint regions,
+// so a player never blocks on a raid's locks — any stall a player sees
+// comes from the checkpointer (admission gate / quiesce), not from 2PL.
+constexpr uint64_t kTownSize = 40000;
+
+struct EntityState {
+  int32_t x = 0;
+  int32_t y = 0;
+  int32_t hp = 100;
+  int32_t gold = 10;
+};
+
+// args: [u64 entity][i32 dx][i32 dy]
+class MoveProcedure : public StoredProcedure {
+ public:
+  uint32_t id() const override { return kMoveProcId; }
+  const char* name() const override { return "move"; }
+  void GetKeys(std::string_view args, KeySets* sets) const override {
+    uint64_t entity;
+    std::memcpy(&entity, args.data(), 8);
+    sets->write_keys.push_back(entity);
+  }
+  Status Run(TxnContext& ctx, std::string_view args) const override {
+    uint64_t entity;
+    int32_t dx, dy;
+    std::memcpy(&entity, args.data(), 8);
+    std::memcpy(&dx, args.data() + 8, 4);
+    std::memcpy(&dy, args.data() + 12, 4);
+    std::string value;
+    CALCDB_RETURN_NOT_OK(ctx.Read(entity, &value));
+    EntityState state;
+    std::memcpy(&state, value.data(), sizeof(state));
+    state.x += dx;
+    state.y += dy;
+    return ctx.Write(entity,
+                     std::string_view(reinterpret_cast<char*>(&state),
+                                      sizeof(state)));
+  }
+};
+
+// args: [u64 start][u32 count][u64 duration_us] — a raid boss fight
+// touching a contiguous block of entities and lasting a while.
+class RaidProcedure : public StoredProcedure {
+ public:
+  uint32_t id() const override { return kRaidProcId; }
+  const char* name() const override { return "raid"; }
+  void GetKeys(std::string_view args, KeySets* sets) const override {
+    uint64_t start;
+    uint32_t count;
+    std::memcpy(&start, args.data(), 8);
+    std::memcpy(&count, args.data() + 8, 4);
+    for (uint32_t i = 0; i < count; ++i) {
+      sets->write_keys.push_back(start + i);
+    }
+  }
+  Status Run(TxnContext& ctx, std::string_view args) const override {
+    uint64_t start, duration_us;
+    uint32_t count;
+    std::memcpy(&start, args.data(), 8);
+    std::memcpy(&count, args.data() + 8, 4);
+    std::memcpy(&duration_us, args.data() + 12, 8);
+    Stopwatch sw;
+    std::string value;
+    for (uint32_t i = 0; i < count; ++i) {
+      CALCDB_RETURN_NOT_OK(ctx.Read(start + i, &value));
+      EntityState state;
+      std::memcpy(&state, value.data(), sizeof(state));
+      state.hp -= 5;
+      state.gold += 3;
+      CALCDB_RETURN_NOT_OK(ctx.Write(
+          start + i,
+          std::string_view(reinterpret_cast<char*>(&state),
+                           sizeof(state))));
+    }
+    while (sw.ElapsedMicros() < static_cast<int64_t>(duration_us)) {
+      SleepMicros(2000);  // the fight rages on (locks held)
+    }
+    return Status::OK();
+  }
+};
+
+int64_t RunWorld(CheckpointAlgorithm algo, const char* label) {
+  std::string dir = std::string("/tmp/calcdb_game_") + label;
+  std::string cleanup = "rm -rf '" + dir + "'";
+  int rc = std::system(cleanup.c_str());
+  (void)rc;
+
+  Options options;
+  options.max_records = kNumEntities + 16;
+  options.algorithm = algo;
+  options.checkpoint_dir = dir;
+  options.disk_bytes_per_sec = 8 << 20;
+
+  std::unique_ptr<Database> db;
+  if (!Database::Open(options, &db).ok()) return -1;
+  db->registry()->Register(std::make_unique<MoveProcedure>());
+  db->registry()->Register(std::make_unique<RaidProcedure>());
+  EntityState initial;
+  for (uint64_t entity = 0; entity < kNumEntities; ++entity) {
+    db->Load(entity, std::string_view(
+                         reinterpret_cast<char*>(&initial),
+                         sizeof(initial)));
+  }
+  db->Start();
+
+  // Player threads keep the town busy. The headline metric is how long
+  // the checkpointer kept the admission gate closed (quiesce): Zigzag
+  // must reject every new action until the in-flight raid drains to reach
+  // a physical point of consistency; CALC never closes the gate.
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> moves{0};
+  std::vector<std::thread> players;
+  for (int t = 0; t < 3; ++t) {
+    players.emplace_back([&, t] {
+      Rng rng(7 + static_cast<uint64_t>(t));
+      while (!stop.load(std::memory_order_acquire)) {
+        uint64_t entity = rng.Uniform(kTownSize);
+        std::string args(reinterpret_cast<const char*>(&entity), 8);
+        int32_t dx = static_cast<int32_t>(rng.Uniform(5)) - 2;
+        int32_t dy = static_cast<int32_t>(rng.Uniform(5)) - 2;
+        args.append(reinterpret_cast<const char*>(&dx), 4);
+        args.append(reinterpret_cast<const char*>(&dy), 4);
+        if (db->executor()
+                ->Execute(kMoveProcId, std::move(args), 0)
+                .ok()) {
+          moves.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+
+  // Raid thread: a long transaction is always in flight somewhere in the
+  // world — there is never a physical point of consistency.
+  std::thread raids([&] {
+    Rng rng(13);
+    while (!stop.load(std::memory_order_acquire)) {
+      uint64_t start =
+          kTownSize + rng.Uniform(kNumEntities - kTownSize - 600);
+      uint32_t count = 500;
+      uint64_t duration = 400000;  // 0.4s
+      std::string args(reinterpret_cast<const char*>(&start), 8);
+      args.append(reinterpret_cast<const char*>(&count), 4);
+      args.append(reinterpret_cast<const char*>(&duration), 8);
+      db->executor()->Execute(kRaidProcId, std::move(args), 0).ok();
+    }
+  });
+
+  SleepMicros(300000);
+  Stopwatch ckpt_sw;
+  Status st = db->Checkpoint();
+  double ckpt_s = ckpt_sw.ElapsedSeconds();
+  SleepMicros(200000);
+  stop.store(true, std::memory_order_release);
+  for (auto& t : players) t.join();
+  raids.join();
+
+  int64_t quiesce_us = db->checkpointer()->last_cycle().quiesce_micros;
+  std::printf("  [%s] checkpoint %s in %.2fs (%llu entities); new actions "
+              "rejected for %.0f ms (quiesce); moves committed: %llu\n",
+              label, st.ok() ? "ok" : st.ToString().c_str(), ckpt_s,
+              static_cast<unsigned long long>(
+                  db->checkpointer()->last_cycle().records_written),
+              static_cast<double>(quiesce_us) / 1000.0,
+              static_cast<unsigned long long>(moves.load()));
+  return quiesce_us;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Game world: %llu entities, constant raids (long "
+              "transactions) — snapshot the world without freezing it\n\n",
+              static_cast<unsigned long long>(kNumEntities));
+  std::printf("CALC (virtual point of consistency — world keeps "
+              "ticking):\n");
+  int64_t calc_stall = RunWorld(CheckpointAlgorithm::kCalc, "CALC");
+  std::printf("\nZigzag (needs a physical point of consistency — must "
+              "drain the raid):\n");
+  int64_t zigzag_stall = RunWorld(CheckpointAlgorithm::kZigzag, "Zigzag");
+
+  std::printf("\nworld frozen to new actions: Zigzag %.0f ms vs CALC "
+              "%.0f ms\n",
+              static_cast<double>(zigzag_stall) / 1000.0,
+              static_cast<double>(calc_stall) / 1000.0);
+  return 0;
+}

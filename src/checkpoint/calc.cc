@@ -1,0 +1,323 @@
+#include "checkpoint/calc.h"
+
+#include <cassert>
+
+#include "storage/memory_tracker.h"
+#include "util/clock.h"
+
+namespace calcdb {
+
+CalcCheckpointer::CalcCheckpointer(EngineContext engine, CalcOptions options)
+    : Checkpointer(engine), options_(options) {
+  if (options_.partial) {
+    for (int i = 0; i < 2; ++i) {
+      dirty_[i] = std::make_unique<DirtyKeyTracker>(
+          options_.tracker, engine_.store->max_records());
+    }
+  }
+}
+
+void CalcCheckpointer::InstallStable(Record& rec) {
+  if (Record::IsRealValue(rec.live)) {
+    // Physical copy, as in the paper ("it has to copy the live version to
+    // the stable version"); drawn from the stable-record pool when one is
+    // configured (§5.1.6).
+    rec.stable = Value::Create(rec.live->data(), engine_.store->pool());
+  } else {
+    rec.stable = Record::AbsentMarker();
+  }
+  int64_t n = stable_versions_.fetch_add(1, std::memory_order_relaxed) + 1;
+  uint64_t peak = peak_stable_versions_.load(std::memory_order_relaxed);
+  while (static_cast<uint64_t>(n) > peak &&
+         !peak_stable_versions_.compare_exchange_weak(
+             peak, static_cast<uint64_t>(n), std::memory_order_relaxed)) {
+  }
+}
+
+void CalcCheckpointer::EraseStable(Record& rec) {
+  if (rec.stable == nullptr) return;
+  if (Record::IsRealValue(rec.stable)) Value::Unref(rec.stable);
+  rec.stable = nullptr;
+  stable_versions_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void CalcCheckpointer::ApplyWrite(Txn& txn, Record& rec, Value* new_val) {
+  SpinLatchGuard guard(rec.latch);
+  switch (txn.start_phase) {
+    case Phase::kPrepare:
+      // "The system is not sure in which phase the transaction will be
+      // committed": preserve the pre-write value, but do not publish it
+      // (no status update) until the commit phase is known.
+      if (!StableAvailable(rec)) {
+        // A stable version without the current stamp is garbage from an
+        // earlier cycle; replace it with the current pre-write value.
+        EraseStable(rec);
+        InstallStable(rec);
+      }
+      break;
+
+    case Phase::kResolve:
+    case Phase::kCapture: {
+      // Post-point-of-consistency writer: preserve the value the capture
+      // scan must see — unless the scan will never visit this record
+      // (slot created after the VPoC, or not in pCALC's dirty set).
+      bool in_scan_range =
+          rec.index < slots_at_vpoc_.load(std::memory_order_acquire);
+      if (in_scan_range && options_.partial) {
+        in_scan_range =
+            dirty_[capture_parity_.load(std::memory_order_acquire)]->Test(
+                rec.index);
+      }
+      if (in_scan_range && !StableAvailable(rec)) {
+        EraseStable(rec);  // drop any stale leftover from an old cycle
+        InstallStable(rec);
+        SetStableAvailable(rec);
+      }
+      break;
+    }
+
+    case Phase::kComplete:
+    case Phase::kRest:
+      // No checkpoint in progress for this transaction's writes.
+      EraseStable(rec);
+      break;
+  }
+  if (Record::IsRealValue(rec.live)) Value::Unref(rec.live);
+  rec.live = new_val;
+}
+
+void CalcCheckpointer::OnCommit(Txn& txn) {
+  if (txn.start_phase == Phase::kPrepare) {
+    if (txn.commit_phase == Phase::kPrepare) {
+      // Committed before the point of consistency: the writes belong in
+      // the checkpoint, so the preserved pre-write values are dropped.
+      for (Record* rec : txn.written_records) {
+        SpinLatchGuard guard(rec->latch);
+        EraseStable(*rec);
+      }
+    } else {
+      // Committed after the point of consistency (resolve phase): publish
+      // the preserved pre-write values to the capture scan.
+      assert(txn.commit_phase == Phase::kResolve);
+      for (Record* rec : txn.written_records) {
+        SpinLatchGuard guard(rec->latch);
+        // Publish only what the capture scan will actually consume: the
+        // record must be inside the scan range (slots above the VPoC
+        // watermark are never visited — e.g. rows this transaction itself
+        // inserted during the prepare phase) and, for pCALC, in the
+        // consumed dirty set. A kept-but-never-consumed stable version
+        // (often an AbsentMarker from a fresh insert) would leak into the
+        // next cycle and mask the record from the *next* checkpoint.
+        bool scanned =
+            rec->index < slots_at_vpoc_.load(std::memory_order_acquire);
+        if (scanned && options_.partial) {
+          scanned = dirty_[capture_parity_.load(
+                               std::memory_order_acquire)]
+                        ->Test(rec->index);
+        }
+        if (scanned && rec->stable != nullptr) {
+          SetStableAvailable(*rec);
+        } else {
+          // The capture scan will not visit this record; a kept stable
+          // version would leak a stale value into the next checkpoint.
+          EraseStable(*rec);
+        }
+      }
+    }
+  }
+
+  if (options_.partial && !txn.written_records.empty()) {
+    // Route dirty keys by the parity of the VPoC count at commit: commits
+    // before the n-th virtual point of consistency land in the set the
+    // n-th capture consumes; later commits land in the other set.
+    DirtyKeyTracker& dirty = *dirty_[txn.vpoc_count & 1];
+    for (Record* rec : txn.written_records) {
+      dirty.Mark(rec->index);
+    }
+  }
+}
+
+Status CalcCheckpointer::CaptureRecord(Record& rec,
+                                       CheckpointFileWriter* writer) {
+  Value* to_write = nullptr;
+  bool absent_at_poc = false;
+  uint64_t key;
+  {
+    SpinLatchGuard guard(rec.latch);
+    key = rec.key;
+    if (StableAvailable(rec)) {
+      // An explicit stable version was published for this record.
+      Value* stable = rec.stable;
+      rec.stable = nullptr;
+      if (stable == Record::AbsentMarker()) {
+        absent_at_poc = true;
+        stable_versions_.fetch_sub(1, std::memory_order_relaxed);
+      } else if (stable != nullptr) {
+        to_write = stable;  // ownership moves to us
+        stable_versions_.fetch_sub(1, std::memory_order_relaxed);
+      } else if (Record::IsRealValue(rec.live)) {
+        // Defensive: available with no preserved version — unreachable by
+        // construction, but falling back to live is the paper's
+        // "stable empty => live is the stable value" invariant.
+        to_write = Value::Ref(rec.live);
+      } else {
+        absent_at_poc = true;
+      }
+    } else {
+      // No stable version yet: mark available first so concurrent
+      // post-VPoC writers stop trying to create one, then read the live
+      // version, then re-check for a stable version that raced in
+      // (Figure 1's capture-phase ordering). The record latch makes the
+      // re-check always see a consistent pair.
+      SetStableAvailable(rec);
+      Value* stable = rec.stable;
+      rec.stable = nullptr;
+      if (stable == Record::AbsentMarker()) {
+        absent_at_poc = true;
+        stable_versions_.fetch_sub(1, std::memory_order_relaxed);
+      } else if (stable != nullptr) {
+        to_write = stable;
+        stable_versions_.fetch_sub(1, std::memory_order_relaxed);
+      } else if (Record::IsRealValue(rec.live)) {
+        to_write = Value::Ref(rec.live);
+      } else {
+        absent_at_poc = true;  // deleted (or dead slot)
+      }
+    }
+  }
+  Status st;
+  if (to_write != nullptr) {
+    st = writer->Append(key, to_write->data());
+    Value::Unref(to_write);
+  } else if (absent_at_poc && options_.partial &&
+             key != ~uint64_t{0}) {
+    // Partial checkpoints must record deletions; a merge would otherwise
+    // resurrect the previous checkpoint's value.
+    st = writer->AppendTombstone(key);
+  }
+  return st;
+}
+
+Status CalcCheckpointer::CaptureAll(uint32_t slot_limit,
+                                    CheckpointFileWriter* writer) {
+  for (uint32_t idx = 0; idx < slot_limit; ++idx) {
+    CALCDB_RETURN_NOT_OK(
+        CaptureRecord(*engine_.store->ByIndex(idx), writer));
+  }
+  return Status::OK();
+}
+
+Status CalcCheckpointer::CapturePartial(uint32_t slot_limit,
+                                        CheckpointFileWriter* writer) {
+  DirtyKeyTracker& dirty = *dirty_[capture_parity_.load()];
+  Status st;
+  dirty.ForEach(slot_limit, [&](uint32_t idx) {
+    if (!st.ok()) return;
+    st = CaptureRecord(*engine_.store->ByIndex(idx), writer);
+  });
+  return st;
+}
+
+void CalcCheckpointer::WaitForDrain(std::initializer_list<Phase> phases) {
+  for (;;) {
+    bool drained = true;
+    for (Phase p : phases) {
+      if (engine_.phases->ActiveIn(p) > 0) {
+        drained = false;
+        break;
+      }
+    }
+    if (drained) return;
+    SleepMicros(100);
+  }
+}
+
+Status CalcCheckpointer::RunCheckpointCycle() {
+  Stopwatch total;
+  CheckpointCycleStats stats;
+  uint64_t id = engine_.ckpt_storage->NextId();
+  stats.checkpoint_id = id;
+
+  // --- Prepare phase -------------------------------------------------
+  // Stamp sense: from here on, stable_cycle == cycle means "available";
+  // everything stamped in earlier cycles reads "not available" — the O(1)
+  // global reset.
+  uint32_t cycle = next_cycle_++;
+  active_cycle_.store(cycle, std::memory_order_release);
+  engine_.log->AppendPhaseTransition(Phase::kPrepare, id, engine_.phases);
+  WaitForDrain({Phase::kRest, Phase::kComplete, Phase::kResolve,
+                Phase::kCapture});
+
+  // --- Resolve phase: the virtual point of consistency ----------------
+  // Watermark and parity are published inside the log latch, before the
+  // phase switch becomes visible: every commit token that precedes the
+  // RESOLVE token created its slots before this point (creation precedes
+  // the creator's commit append), so the watermark covers exactly the
+  // pre-VPoC records; and no transaction can observe phase == RESOLVE
+  // while still reading last cycle's watermark or parity.
+  uint64_t vpoc_lsn = engine_.log->AppendPhaseTransition(
+      Phase::kResolve, id, engine_.phases, [this] {
+        slots_at_vpoc_.store(engine_.store->NumSlots(),
+                             std::memory_order_release);
+        if (options_.partial) {
+          // VpocCount was just incremented to n; the n-th capture consumes
+          // the set with parity (n-1) & 1.
+          capture_parity_.store(
+              static_cast<uint32_t>((engine_.log->VpocCountLocked() - 1) &
+                                    1),
+              std::memory_order_release);
+        }
+      });
+  WaitForDrain({Phase::kPrepare, Phase::kRest, Phase::kComplete});
+
+  // --- Capture phase ---------------------------------------------------
+  engine_.log->AppendPhaseTransition(Phase::kCapture, id, engine_.phases);
+  Stopwatch capture_sw;
+  CheckpointType type =
+      options_.partial ? CheckpointType::kPartial : CheckpointType::kFull;
+  std::string path = engine_.ckpt_storage->PathFor(id, type);
+  CheckpointFileWriter writer;
+  CALCDB_RETURN_NOT_OK(writer.Open(
+      path, type, id, vpoc_lsn,
+      engine_.ckpt_storage->disk_bytes_per_sec()));
+  uint32_t slot_limit = slots_at_vpoc_.load(std::memory_order_acquire);
+  CALCDB_RETURN_NOT_OK(options_.partial
+                           ? CapturePartial(slot_limit, &writer)
+                           : CaptureAll(slot_limit, &writer));
+  CALCDB_RETURN_NOT_OK(writer.Finish());
+  stats.capture_micros = capture_sw.ElapsedMicros();
+  stats.records_written = writer.entries_written();
+  stats.bytes_written = writer.bytes_written();
+
+  // --- Complete phase --------------------------------------------------
+  engine_.log->AppendPhaseTransition(Phase::kComplete, id, engine_.phases);
+  // The paper's barrier gates on capture-started transactions; we also
+  // wait out any straggling resolve-started ones (e.g. a long-running
+  // transaction), which could otherwise install stable versions into the
+  // next cycle.
+  WaitForDrain({Phase::kPrepare, Phase::kResolve, Phase::kCapture});
+
+  if (options_.partial) {
+    dirty_[capture_parity_.load()]->Clear();
+  }
+  active_cycle_.store(0, std::memory_order_release);
+
+  // --- Back to rest ------------------------------------------------------
+  engine_.log->AppendPhaseTransition(Phase::kRest, id, engine_.phases);
+
+  CheckpointInfo info;
+  info.id = id;
+  info.type = type;
+  info.vpoc_lsn = vpoc_lsn;
+  info.num_entries = writer.entries_written();
+  info.path = path;
+  engine_.ckpt_storage->Register(info);
+  CALCDB_RETURN_NOT_OK(engine_.ckpt_storage->PersistManifest());
+
+  stats.quiesce_micros = 0;  // CALC never closes the admission gate
+  stats.total_micros = total.ElapsedMicros();
+  SetLastCycle(stats);
+  return Status::OK();
+}
+
+}  // namespace calcdb

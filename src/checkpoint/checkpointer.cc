@@ -1,0 +1,20 @@
+#include "checkpoint/checkpointer.h"
+
+namespace calcdb {
+
+Value* Checkpointer::ReadRecord(Txn& txn, Record& rec) {
+  (void)txn;
+  // Safe without the record latch: `live` is only modified by transactions
+  // holding this record's stripe lock (which excludes the caller) — never
+  // by checkpoint threads.
+  return Record::IsRealValue(rec.live) ? rec.live : nullptr;
+}
+
+void NoCheckpointer::ApplyWrite(Txn& txn, Record& rec, Value* new_val) {
+  (void)txn;
+  SpinLatchGuard guard(rec.latch);
+  if (Record::IsRealValue(rec.live)) Value::Unref(rec.live);
+  rec.live = new_val;
+}
+
+}  // namespace calcdb

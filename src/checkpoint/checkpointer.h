@@ -1,0 +1,128 @@
+#ifndef CALCDB_CHECKPOINT_CHECKPOINTER_H_
+#define CALCDB_CHECKPOINT_CHECKPOINTER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "checkpoint/admission_gate.h"
+#include "checkpoint/ckpt_storage.h"
+#include "checkpoint/phase.h"
+#include "log/commit_log.h"
+#include "storage/kv_store.h"
+#include "txn/txn.h"
+#include "util/status.h"
+
+namespace calcdb {
+
+/// Everything a checkpointing algorithm needs from the engine.
+struct EngineContext {
+  KVStore* store = nullptr;
+  CommitLog* log = nullptr;
+  PhaseController* phases = nullptr;
+  AdmissionGate* gate = nullptr;
+  CheckpointStorage* ckpt_storage = nullptr;
+};
+
+/// Statistics for one completed checkpoint cycle.
+struct CheckpointCycleStats {
+  uint64_t checkpoint_id = 0;
+  uint64_t records_written = 0;
+  uint64_t bytes_written = 0;
+  int64_t quiesce_micros = 0;   ///< time the admission gate was closed
+  int64_t capture_micros = 0;   ///< asynchronous capture duration
+  int64_t total_micros = 0;
+};
+
+/// Interface every checkpointing algorithm implements.
+///
+/// The executor calls the transaction-side hooks; a coordinator thread (or
+/// the benchmark harness) calls RunCheckpointCycle to take one checkpoint.
+/// Implementations: CalcCheckpointer (the paper's contribution, full and
+/// partial), NaiveSnapshotCheckpointer, FuzzyCheckpointer, IppCheckpointer,
+/// ZigzagCheckpointer, and NoCheckpointer (the "None" baseline).
+class Checkpointer {
+ public:
+  explicit Checkpointer(EngineContext engine) : engine_(engine) {}
+  virtual ~Checkpointer() = default;
+
+  Checkpointer(const Checkpointer&) = delete;
+  Checkpointer& operator=(const Checkpointer&) = delete;
+
+  virtual const char* name() const = 0;
+
+  /// True if this algorithm only ever writes records changed since the
+  /// previous checkpoint (the "p" variants).
+  virtual bool is_partial() const { return false; }
+
+  /// True if recovery can load this algorithm's checkpoints into a
+  /// transaction-consistent state without a full ARIES-style log. False
+  /// only for fuzzy checkpoints (paper §2.1).
+  virtual bool transaction_consistent() const { return true; }
+
+  // ------------------------------------------------------------------
+  // Transaction-side hooks. All are invoked by the executor with the
+  // transaction's stripe locks held (strict 2PL), except AdmitTransaction
+  // which runs before the transaction registers.
+  // ------------------------------------------------------------------
+
+  /// Blocks while the algorithm has admission closed (quiesce). CALC's
+  /// implementation is a no-op beyond the gate's single atomic load.
+  virtual void AdmitTransaction() { engine_.gate->WaitAdmitted(); }
+
+  /// Returns the version of `rec` this transaction should read, or null if
+  /// the record is absent. Default: the live version.
+  virtual Value* ReadRecord(Txn& txn, Record& rec);
+
+  /// Applies a committed-buffer write. `new_val` is an owned reference the
+  /// hook consumes (or null for a delete).
+  virtual void ApplyWrite(Txn& txn, Record& rec, Value* new_val) = 0;
+
+  /// Post-commit fixup: runs after the commit token has been appended to
+  /// the commit log and before the transaction's locks are released.
+  virtual void OnCommit(Txn& txn) { (void)txn; }
+
+  // ------------------------------------------------------------------
+  // Checkpoint lifecycle.
+  // ------------------------------------------------------------------
+
+  /// Takes one checkpoint synchronously on the calling thread; returns
+  /// once the checkpoint is durable and the system is back at rest.
+  virtual Status RunCheckpointCycle() = 0;
+
+  /// Stats of the most recent completed cycle.
+  CheckpointCycleStats last_cycle() const {
+    SpinLatchGuard guard(stats_latch_);
+    return last_cycle_;
+  }
+
+ protected:
+  void SetLastCycle(const CheckpointCycleStats& stats) {
+    SpinLatchGuard guard(stats_latch_);
+    last_cycle_ = stats;
+  }
+
+  EngineContext engine_;
+
+ private:
+  mutable SpinLatch stats_latch_;
+  CheckpointCycleStats last_cycle_;
+};
+
+/// The "None" baseline: no snapshotting work at all.
+class NoCheckpointer : public Checkpointer {
+ public:
+  explicit NoCheckpointer(EngineContext engine) : Checkpointer(engine) {}
+
+  const char* name() const override { return "None"; }
+
+  void ApplyWrite(Txn& txn, Record& rec, Value* new_val) override;
+
+  Status RunCheckpointCycle() override {
+    return Status::NotSupported("NoCheckpointer takes no checkpoints");
+  }
+};
+
+}  // namespace calcdb
+
+#endif  // CALCDB_CHECKPOINT_CHECKPOINTER_H_

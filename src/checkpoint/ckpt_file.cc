@@ -1,0 +1,138 @@
+#include "checkpoint/ckpt_file.h"
+
+#include <cstring>
+
+#include "util/crc32.h"
+
+namespace calcdb {
+
+namespace {
+
+constexpr char kMagic[8] = {'C', 'A', 'L', 'C', 'K', 'P', 'T', '1'};
+constexpr uint32_t kVersion = 1;
+constexpr uint64_t kFooterKey = ~uint64_t{0};
+constexpr uint8_t kFooterFlags = 0xFF;
+constexpr uint8_t kTombstoneFlag = 0x01;
+
+}  // namespace
+
+Status CheckpointFileWriter::Open(const std::string& path,
+                                  CheckpointType type, uint64_t id,
+                                  uint64_t vpoc_lsn,
+                                  uint64_t max_bytes_per_sec) {
+  CALCDB_RETURN_NOT_OK(writer_.Open(path, max_bytes_per_sec));
+  count_ = 0;
+  crc_ = 0;
+  CALCDB_RETURN_NOT_OK(writer_.Append(kMagic, sizeof(kMagic)));
+  CALCDB_RETURN_NOT_OK(writer_.Append(&kVersion, sizeof(kVersion)));
+  uint8_t t = static_cast<uint8_t>(type);
+  CALCDB_RETURN_NOT_OK(writer_.Append(&t, sizeof(t)));
+  CALCDB_RETURN_NOT_OK(writer_.Append(&id, sizeof(id)));
+  CALCDB_RETURN_NOT_OK(writer_.Append(&vpoc_lsn, sizeof(vpoc_lsn)));
+  return Status::OK();
+}
+
+Status CheckpointFileWriter::AppendRaw(const void* data, size_t n) {
+  crc_ = Crc32(data, n, crc_);
+  return writer_.Append(data, n);
+}
+
+Status CheckpointFileWriter::Append(uint64_t key, std::string_view value) {
+  CALCDB_RETURN_NOT_OK(AppendRaw(&key, sizeof(key)));
+  uint8_t flags = 0;
+  CALCDB_RETURN_NOT_OK(AppendRaw(&flags, sizeof(flags)));
+  uint32_t len = static_cast<uint32_t>(value.size());
+  CALCDB_RETURN_NOT_OK(AppendRaw(&len, sizeof(len)));
+  CALCDB_RETURN_NOT_OK(AppendRaw(value.data(), value.size()));
+  ++count_;
+  return Status::OK();
+}
+
+Status CheckpointFileWriter::AppendTombstone(uint64_t key) {
+  CALCDB_RETURN_NOT_OK(AppendRaw(&key, sizeof(key)));
+  uint8_t flags = kTombstoneFlag;
+  CALCDB_RETURN_NOT_OK(AppendRaw(&flags, sizeof(flags)));
+  ++count_;
+  return Status::OK();
+}
+
+Status CheckpointFileWriter::Finish() {
+  CALCDB_RETURN_NOT_OK(writer_.Append(&kFooterKey, sizeof(kFooterKey)));
+  CALCDB_RETURN_NOT_OK(writer_.Append(&kFooterFlags, sizeof(kFooterFlags)));
+  CALCDB_RETURN_NOT_OK(writer_.Append(&count_, sizeof(count_)));
+  CALCDB_RETURN_NOT_OK(writer_.Append(&crc_, sizeof(crc_)));
+  return writer_.Close();
+}
+
+Status CheckpointFileReader::Open(const std::string& path) {
+  CALCDB_RETURN_NOT_OK(reader_.Open(path));
+  char magic[8];
+  CALCDB_RETURN_NOT_OK(reader_.ReadExact(magic, sizeof(magic)));
+  if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::Corruption("bad checkpoint magic: " + path);
+  }
+  uint32_t version;
+  CALCDB_RETURN_NOT_OK(reader_.ReadExact(&version, sizeof(version)));
+  if (version != kVersion) {
+    return Status::Corruption("unsupported checkpoint version");
+  }
+  uint8_t t;
+  CALCDB_RETURN_NOT_OK(reader_.ReadExact(&t, sizeof(t)));
+  type_ = static_cast<CheckpointType>(t);
+  CALCDB_RETURN_NOT_OK(reader_.ReadExact(&id_, sizeof(id_)));
+  CALCDB_RETURN_NOT_OK(reader_.ReadExact(&vpoc_lsn_, sizeof(vpoc_lsn_)));
+  count_seen_ = 0;
+  crc_ = 0;
+  return Status::OK();
+}
+
+Status CheckpointFileReader::Next(CheckpointEntry* entry, bool* eof) {
+  *eof = false;
+  uint64_t key;
+  uint8_t flags;
+  CALCDB_RETURN_NOT_OK(reader_.ReadExact(&key, sizeof(key)));
+  CALCDB_RETURN_NOT_OK(reader_.ReadExact(&flags, sizeof(flags)));
+  if (key == kFooterKey && flags == kFooterFlags) {
+    uint64_t count;
+    uint32_t crc;
+    CALCDB_RETURN_NOT_OK(reader_.ReadExact(&count, sizeof(count)));
+    CALCDB_RETURN_NOT_OK(reader_.ReadExact(&crc, sizeof(crc)));
+    if (count != count_seen_) {
+      return Status::Corruption("checkpoint entry count mismatch");
+    }
+    if (crc != crc_) {
+      return Status::Corruption("checkpoint crc mismatch");
+    }
+    *eof = true;
+    return Status::OK();
+  }
+  crc_ = Crc32(&key, sizeof(key), crc_);
+  crc_ = Crc32(&flags, sizeof(flags), crc_);
+  entry->key = key;
+  entry->tombstone = (flags & kTombstoneFlag) != 0;
+  entry->value.clear();
+  if (!entry->tombstone) {
+    uint32_t len;
+    CALCDB_RETURN_NOT_OK(reader_.ReadExact(&len, sizeof(len)));
+    crc_ = Crc32(&len, sizeof(len), crc_);
+    if (len > (1u << 30)) return Status::Corruption("entry too large");
+    entry->value.resize(len);
+    CALCDB_RETURN_NOT_OK(reader_.ReadExact(entry->value.data(), len));
+    crc_ = Crc32(entry->value.data(), len, crc_);
+  }
+  ++count_seen_;
+  return Status::OK();
+}
+
+Status CheckpointFileReader::ReadAll(
+    const std::function<Status(const CheckpointEntry&)>& fn) {
+  CheckpointEntry entry;
+  bool eof = false;
+  for (;;) {
+    CALCDB_RETURN_NOT_OK(Next(&entry, &eof));
+    if (eof) return Status::OK();
+    CALCDB_RETURN_NOT_OK(fn(entry));
+  }
+}
+
+}  // namespace calcdb

@@ -1,0 +1,154 @@
+#include "checkpoint/ckpt_storage.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include <sys/stat.h>
+#include <sys/types.h>
+
+namespace calcdb {
+
+CheckpointStorage::CheckpointStorage(std::string dir,
+                                     uint64_t disk_bytes_per_sec)
+    : dir_(std::move(dir)), disk_bytes_per_sec_(disk_bytes_per_sec) {}
+
+Status CheckpointStorage::Init() {
+  if (::mkdir(dir_.c_str(), 0755) != 0 && errno != EEXIST) {
+    return Status::IOError("mkdir " + dir_ + ": " + std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+std::string CheckpointStorage::PathFor(uint64_t id,
+                                       CheckpointType type) const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "/ckpt_%08llu.%s",
+                static_cast<unsigned long long>(id),
+                type == CheckpointType::kFull ? "full" : "part");
+  return dir_ + buf;
+}
+
+void CheckpointStorage::Register(const CheckpointInfo& info) {
+  SpinLatchGuard guard(latch_);
+  checkpoints_.push_back(info);
+  std::sort(checkpoints_.begin(), checkpoints_.end(),
+            [](const CheckpointInfo& a, const CheckpointInfo& b) {
+              return a.id < b.id;
+            });
+  uint64_t next = next_id_.load();
+  if (info.id > next) next_id_.store(info.id);
+}
+
+std::vector<CheckpointInfo> CheckpointStorage::List() const {
+  SpinLatchGuard guard(latch_);
+  return checkpoints_;
+}
+
+std::vector<CheckpointInfo> CheckpointStorage::RecoveryChain() const {
+  SpinLatchGuard guard(latch_);
+  // Find the newest full checkpoint.
+  int full_idx = -1;
+  for (int i = static_cast<int>(checkpoints_.size()) - 1; i >= 0; --i) {
+    if (checkpoints_[i].type == CheckpointType::kFull) {
+      full_idx = i;
+      break;
+    }
+  }
+  std::vector<CheckpointInfo> chain;
+  // With no full checkpoint yet, the chain is every partial since the
+  // (empty) beginning of time — valid when the database started empty.
+  size_t start = full_idx < 0 ? 0 : static_cast<size_t>(full_idx);
+  for (size_t i = start; i < checkpoints_.size(); ++i) {
+    chain.push_back(checkpoints_[i]);
+  }
+  return chain;
+}
+
+Status CheckpointStorage::ReplaceCollapsed(
+    const std::vector<uint64_t>& retired_ids, const CheckpointInfo& merged) {
+  std::vector<std::string> to_delete;
+  {
+    SpinLatchGuard guard(latch_);
+    std::vector<CheckpointInfo> kept;
+    for (const CheckpointInfo& c : checkpoints_) {
+      if (std::find(retired_ids.begin(), retired_ids.end(), c.id) !=
+          retired_ids.end()) {
+        to_delete.push_back(c.path);
+      } else {
+        kept.push_back(c);
+      }
+    }
+    kept.push_back(merged);
+    std::sort(kept.begin(), kept.end(),
+              [](const CheckpointInfo& a, const CheckpointInfo& b) {
+                return a.id < b.id;
+              });
+    checkpoints_ = std::move(kept);
+  }
+  for (const std::string& path : to_delete) {
+    std::remove(path.c_str());
+  }
+  return Status::OK();
+}
+
+Status CheckpointStorage::PersistManifest() const {
+  std::string tmp = ManifestPath() + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "w");
+  if (f == nullptr) return Status::IOError("open manifest tmp");
+  std::vector<CheckpointInfo> snapshot = List();
+  for (const CheckpointInfo& c : snapshot) {
+    std::fprintf(f, "%llu %u %llu %llu %s\n",
+                 static_cast<unsigned long long>(c.id),
+                 static_cast<unsigned>(c.type),
+                 static_cast<unsigned long long>(c.vpoc_lsn),
+                 static_cast<unsigned long long>(c.num_entries),
+                 c.path.c_str());
+  }
+  if (std::fflush(f) != 0) {
+    std::fclose(f);
+    return Status::IOError("flush manifest");
+  }
+  std::fclose(f);
+  if (std::rename(tmp.c_str(), ManifestPath().c_str()) != 0) {
+    return Status::IOError("rename manifest: " +
+                           std::string(std::strerror(errno)));
+  }
+  return Status::OK();
+}
+
+Status CheckpointStorage::LoadManifest() {
+  std::FILE* f = std::fopen(ManifestPath().c_str(), "r");
+  if (f == nullptr) return Status::NotFound("no manifest in " + dir_);
+  std::vector<CheckpointInfo> loaded;
+  char line[4096];
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    CheckpointInfo c;
+    unsigned long long id, vpoc, entries;
+    unsigned type;
+    char path[3800];
+    if (std::sscanf(line, "%llu %u %llu %llu %3799s", &id, &type, &vpoc,
+                    &entries, path) != 5) {
+      std::fclose(f);
+      return Status::Corruption("bad manifest line");
+    }
+    c.id = id;
+    c.type = static_cast<CheckpointType>(type);
+    c.vpoc_lsn = vpoc;
+    c.num_entries = entries;
+    c.path = path;
+    loaded.push_back(c);
+  }
+  std::fclose(f);
+  SpinLatchGuard guard(latch_);
+  checkpoints_ = std::move(loaded);
+  uint64_t max_id = 0;
+  for (const CheckpointInfo& c : checkpoints_) {
+    if (c.id > max_id) max_id = c.id;
+  }
+  next_id_.store(max_id);
+  return Status::OK();
+}
+
+}  // namespace calcdb

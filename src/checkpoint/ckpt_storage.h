@@ -1,0 +1,86 @@
+#ifndef CALCDB_CHECKPOINT_CKPT_STORAGE_H_
+#define CALCDB_CHECKPOINT_CKPT_STORAGE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "checkpoint/ckpt_file.h"
+#include "util/latch.h"
+#include "util/status.h"
+
+namespace calcdb {
+
+/// Metadata for one durable checkpoint.
+struct CheckpointInfo {
+  uint64_t id = 0;            ///< monotonically increasing
+  CheckpointType type = CheckpointType::kFull;
+  uint64_t vpoc_lsn = 0;      ///< commit-log LSN of the point of consistency
+  uint64_t num_entries = 0;
+  std::string path;
+};
+
+/// Directory of durable checkpoints plus the manifest tracking them.
+///
+/// The manifest orders checkpoints by id; recovery loads the newest full
+/// checkpoint and every later partial (paper §3.2). The background merger
+/// collapses [full, partial...] chains into a new full checkpoint and
+/// retires the inputs — "old checkpoints are discarded only once they have
+/// been collapsed" (§2.3.1), so a crash mid-collapse never loses data.
+class CheckpointStorage {
+ public:
+  /// `dir` is created if missing. `disk_bytes_per_sec` caps checkpoint
+  /// write bandwidth (0 = unthrottled); readers are never throttled.
+  CheckpointStorage(std::string dir, uint64_t disk_bytes_per_sec);
+
+  CheckpointStorage(const CheckpointStorage&) = delete;
+  CheckpointStorage& operator=(const CheckpointStorage&) = delete;
+
+  Status Init();
+
+  /// Allocates the next checkpoint id.
+  uint64_t NextId() { return next_id_.fetch_add(1) + 1; }
+
+  /// File path for a checkpoint id.
+  std::string PathFor(uint64_t id, CheckpointType type) const;
+
+  /// Registers a completed (Finish()ed) checkpoint in the manifest.
+  void Register(const CheckpointInfo& info);
+
+  /// Snapshot of the manifest, ordered by id.
+  std::vector<CheckpointInfo> List() const;
+
+  /// The newest registered checkpoint chain needed for recovery: the
+  /// latest full checkpoint plus all partials registered after it, in id
+  /// order. If no full checkpoint exists, returns every partial (the
+  /// chain from the empty initial database).
+  std::vector<CheckpointInfo> RecoveryChain() const;
+
+  /// Atomically replaces checkpoints `retired_ids` with `merged` in the
+  /// manifest and deletes the retired files. `merged` must already be
+  /// durable.
+  Status ReplaceCollapsed(const std::vector<uint64_t>& retired_ids,
+                          const CheckpointInfo& merged);
+
+  /// Persists / reloads the manifest (for recovery across restarts).
+  Status PersistManifest() const;
+  Status LoadManifest();
+
+  const std::string& dir() const { return dir_; }
+  uint64_t disk_bytes_per_sec() const { return disk_bytes_per_sec_; }
+
+ private:
+  std::string ManifestPath() const { return dir_ + "/MANIFEST"; }
+
+  std::string dir_;
+  uint64_t disk_bytes_per_sec_;
+  std::atomic<uint64_t> next_id_{0};
+
+  mutable SpinLatch latch_;
+  std::vector<CheckpointInfo> checkpoints_;
+};
+
+}  // namespace calcdb
+
+#endif  // CALCDB_CHECKPOINT_CKPT_STORAGE_H_

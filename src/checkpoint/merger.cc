@@ -1,0 +1,89 @@
+#include "checkpoint/merger.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "checkpoint/ckpt_file.h"
+#include "util/clock.h"
+
+namespace calcdb {
+
+Status CheckpointMerger::CollapseOnce(size_t max_partials,
+                                      bool* did_merge) {
+  *did_merge = false;
+  std::vector<CheckpointInfo> chain = storage_->RecoveryChain();
+  // Need at least a (full, partial) pair — or two partials from an
+  // empty-start chain — for collapsing to be worthwhile.
+  if (chain.size() < 2) return Status::OK();
+  size_t take = chain.size() - 1;
+  if (take > max_partials) take = max_partials;
+
+  // Latest-wins merge. std::map keeps keys ordered, which makes merged
+  // checkpoints deterministic byte-for-byte.
+  std::map<uint64_t, std::string> merged;
+  std::vector<uint64_t> retired;
+  for (size_t i = 0; i <= take; ++i) {
+    const CheckpointInfo& info = chain[i];
+    CheckpointFileReader reader;
+    CALCDB_RETURN_NOT_OK(reader.Open(info.path));
+    CALCDB_RETURN_NOT_OK(
+        reader.ReadAll([&](const CheckpointEntry& entry) -> Status {
+          if (entry.tombstone) {
+            merged.erase(entry.key);
+          } else {
+            merged[entry.key] = entry.value;
+          }
+          return Status::OK();
+        }));
+    retired.push_back(info.id);
+  }
+  const CheckpointInfo& last = chain[take];
+
+  // The merged full checkpoint adopts the last input's identity: it
+  // represents the database exactly as of that partial's point of
+  // consistency.
+  CheckpointInfo out;
+  out.id = last.id;
+  out.type = CheckpointType::kFull;
+  out.vpoc_lsn = last.vpoc_lsn;
+  out.path = storage_->PathFor(out.id, CheckpointType::kFull);
+
+  CheckpointFileWriter writer;
+  CALCDB_RETURN_NOT_OK(writer.Open(out.path, CheckpointType::kFull, out.id,
+                                   out.vpoc_lsn,
+                                   storage_->disk_bytes_per_sec()));
+  for (const auto& [key, value] : merged) {
+    CALCDB_RETURN_NOT_OK(writer.Append(key, value));
+  }
+  CALCDB_RETURN_NOT_OK(writer.Finish());
+  out.num_entries = writer.entries_written();
+
+  CALCDB_RETURN_NOT_OK(storage_->ReplaceCollapsed(retired, out));
+  CALCDB_RETURN_NOT_OK(storage_->PersistManifest());
+  merges_done_.fetch_add(1, std::memory_order_relaxed);
+  *did_merge = true;
+  return Status::OK();
+}
+
+void CheckpointMerger::StartBackground(size_t trigger_batch, int poll_ms) {
+  if (running_.exchange(true)) return;
+  thread_ = std::thread([this, trigger_batch, poll_ms] {
+    while (running_.load(std::memory_order_acquire)) {
+      std::vector<CheckpointInfo> chain = storage_->RecoveryChain();
+      if (chain.size() >= trigger_batch + 1) {
+        bool did_merge = false;
+        // Best effort: errors leave the inputs intact for the next try.
+        CollapseOnce(trigger_batch, &did_merge).ok();
+      }
+      SleepMicros(static_cast<int64_t>(poll_ms) * 1000);
+    }
+  });
+}
+
+void CheckpointMerger::StopBackground() {
+  if (!running_.exchange(false)) return;
+  if (thread_.joinable()) thread_.join();
+}
+
+}  // namespace calcdb

@@ -1,0 +1,38 @@
+#ifndef CALCDB_CHECKPOINT_QUIESCE_H_
+#define CALCDB_CHECKPOINT_QUIESCE_H_
+
+#include <functional>
+
+#include "checkpoint/checkpointer.h"
+#include "util/clock.h"
+#include "util/status.h"
+
+namespace calcdb {
+
+/// Closes the admission gate, waits for every active transaction to
+/// complete (a *physical point of consistency*, paper §2.1), runs
+/// `critical`, and reopens the gate. Returns the total time the gate was
+/// closed in microseconds; `*st` receives the critical section's status.
+///
+/// The drain time is workload-dependent: "when every active transaction is
+/// short ... the period of time for which the database must quiesce is
+/// essentially invisible. However, where there are long-running
+/// transactions in the workload ... the period of time for which the
+/// database has to reject new transactions until these long transactions
+/// complete is noticeable" (§5.1.1).
+inline int64_t QuiesceAndRun(const EngineContext& engine,
+                             const std::function<Status()>& critical,
+                             Status* st) {
+  Stopwatch sw;
+  engine.gate->Close();
+  while (engine.phases->TotalActive() > 0) {
+    SleepMicros(100);
+  }
+  *st = critical();
+  engine.gate->Open();
+  return sw.ElapsedMicros();
+}
+
+}  // namespace calcdb
+
+#endif  // CALCDB_CHECKPOINT_QUIESCE_H_

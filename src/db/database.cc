@@ -1,0 +1,348 @@
+#include "db/database.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+
+#include "storage/memory_tracker.h"
+#include "util/clock.h"
+
+#include "checkpoint/calc.h"
+#include "checkpoint/fork_snapshot.h"
+#include "checkpoint/fuzzy.h"
+#include "checkpoint/ipp.h"
+#include "checkpoint/mvcc.h"
+#include "checkpoint/naive.h"
+#include "checkpoint/zigzag.h"
+
+namespace calcdb {
+
+const char* AlgorithmName(CheckpointAlgorithm algo) {
+  switch (algo) {
+    case CheckpointAlgorithm::kNone:
+      return "None";
+    case CheckpointAlgorithm::kCalc:
+      return "CALC";
+    case CheckpointAlgorithm::kPCalc:
+      return "pCALC";
+    case CheckpointAlgorithm::kNaive:
+      return "Naive";
+    case CheckpointAlgorithm::kPNaive:
+      return "pNaive";
+    case CheckpointAlgorithm::kFuzzy:
+      return "Fuzzy";
+    case CheckpointAlgorithm::kPFuzzy:
+      return "pFuzzy";
+    case CheckpointAlgorithm::kIpp:
+      return "IPP";
+    case CheckpointAlgorithm::kPIpp:
+      return "pIPP";
+    case CheckpointAlgorithm::kZigzag:
+      return "Zigzag";
+    case CheckpointAlgorithm::kPZigzag:
+      return "pZigzag";
+    case CheckpointAlgorithm::kMvcc:
+      return "MVCC";
+    case CheckpointAlgorithm::kFork:
+      return "Fork";
+  }
+  return "?";
+}
+
+bool ParseAlgorithm(const std::string& name, CheckpointAlgorithm* out) {
+  std::string lower = name;
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  struct Mapping {
+    const char* name;
+    CheckpointAlgorithm algo;
+  };
+  static constexpr Mapping kMappings[] = {
+      {"none", CheckpointAlgorithm::kNone},
+      {"calc", CheckpointAlgorithm::kCalc},
+      {"pcalc", CheckpointAlgorithm::kPCalc},
+      {"naive", CheckpointAlgorithm::kNaive},
+      {"pnaive", CheckpointAlgorithm::kPNaive},
+      {"fuzzy", CheckpointAlgorithm::kFuzzy},
+      {"pfuzzy", CheckpointAlgorithm::kPFuzzy},
+      {"ipp", CheckpointAlgorithm::kIpp},
+      {"pipp", CheckpointAlgorithm::kPIpp},
+      {"zigzag", CheckpointAlgorithm::kZigzag},
+      {"pzigzag", CheckpointAlgorithm::kPZigzag},
+      {"mvcc", CheckpointAlgorithm::kMvcc},
+      {"fork", CheckpointAlgorithm::kFork},
+  };
+  for (const Mapping& m : kMappings) {
+    if (lower == m.name) {
+      *out = m.algo;
+      return true;
+    }
+  }
+  return false;
+}
+
+Database::Database(const Options& options)
+    : options_(options),
+      pool_(options.use_value_pool ? new ValuePool() : nullptr),
+      store_(new KVStore(options.max_records, pool_.get())),
+      ckpt_storage_(options.checkpoint_dir, options.disk_bytes_per_sec),
+      lock_manager_(options.lock_stripes) {}
+
+Database::~Database() { Shutdown(); }
+
+Status Database::Shutdown() {
+  Status st;
+  StopPeriodicCheckpoints();
+  if (streamer_ != nullptr) {
+    st = streamer_->Stop();
+    streamer_.reset();
+  }
+  if (merger_ != nullptr) {
+    merger_->StopBackground();
+    merger_.reset();
+  }
+  return st;
+}
+
+Status Database::Open(const Options& options,
+                      std::unique_ptr<Database>* db) {
+  if (options.max_records == 0) {
+    return Status::InvalidArgument("max_records must be positive");
+  }
+  std::unique_ptr<Database> out(new Database(options));
+  CALCDB_RETURN_NOT_OK(out->ckpt_storage_.Init());
+  *db = std::move(out);
+  return Status::OK();
+}
+
+Status Database::Load(uint64_t key, std::string_view value) {
+  if (started_) return Status::InvalidArgument("Load after Start");
+  return store_->Put(key, value);
+}
+
+Status Database::Recover(const CommitLog* replay_log,
+                         RecoveryStats* stats) {
+  if (started_) return Status::InvalidArgument("Recover after Start");
+  Status st = ckpt_storage_.LoadManifest();
+  if (st.IsNotFound()) return Status::OK();  // nothing to recover
+  CALCDB_RETURN_NOT_OK(st);
+  RecoveryStats local;
+  RecoveryStats* s = stats != nullptr ? stats : &local;
+  CALCDB_RETURN_NOT_OK(
+      RecoveryManager::LoadCheckpoints(&ckpt_storage_, store_.get(), s));
+  if (replay_log != nullptr) {
+    CALCDB_RETURN_NOT_OK(
+        RecoveryManager::ReplayLog(*replay_log, registry_, store_.get(), s));
+  }
+  return Status::OK();
+}
+
+Status Database::WriteBaseCheckpoint() {
+  if (started_) return Status::InvalidArgument("base ckpt after Start");
+  uint64_t id = ckpt_storage_.NextId();
+  uint64_t poc_lsn =
+      log_.AppendPhaseTransition(Phase::kResolve, id, /*pc=*/nullptr);
+  std::string path = ckpt_storage_.PathFor(id, CheckpointType::kFull);
+  CheckpointFileWriter writer;
+  CALCDB_RETURN_NOT_OK(writer.Open(path, CheckpointType::kFull, id,
+                                   poc_lsn,
+                                   ckpt_storage_.disk_bytes_per_sec()));
+  uint32_t slots = store_->NumSlots();
+  for (uint32_t idx = 0; idx < slots; ++idx) {
+    Record* rec = store_->ByIndex(idx);
+    if (Record::IsRealValue(rec->live)) {
+      CALCDB_RETURN_NOT_OK(writer.Append(rec->key, rec->live->data()));
+    }
+  }
+  CALCDB_RETURN_NOT_OK(writer.Finish());
+  CheckpointInfo info;
+  info.id = id;
+  info.type = CheckpointType::kFull;
+  info.vpoc_lsn = poc_lsn;
+  info.num_entries = writer.entries_written();
+  info.path = path;
+  ckpt_storage_.Register(info);
+  return ckpt_storage_.PersistManifest();
+}
+
+Status Database::MakeCheckpointer() {
+  EngineContext engine;
+  engine.store = store_.get();
+  engine.log = &log_;
+  engine.phases = &phases_;
+  engine.gate = &gate_;
+  engine.ckpt_storage = &ckpt_storage_;
+
+  switch (options_.algorithm) {
+    case CheckpointAlgorithm::kNone:
+      checkpointer_ = std::make_unique<NoCheckpointer>(engine);
+      return Status::OK();
+    case CheckpointAlgorithm::kCalc:
+    case CheckpointAlgorithm::kPCalc: {
+      CalcOptions opts;
+      opts.partial = options_.algorithm == CheckpointAlgorithm::kPCalc;
+      opts.tracker = options_.dirty_tracker;
+      checkpointer_ = std::make_unique<CalcCheckpointer>(engine, opts);
+      return Status::OK();
+    }
+    case CheckpointAlgorithm::kNaive:
+    case CheckpointAlgorithm::kPNaive: {
+      NaiveOptions opts;
+      opts.partial = options_.algorithm == CheckpointAlgorithm::kPNaive;
+      opts.tracker = options_.dirty_tracker;
+      checkpointer_ =
+          std::make_unique<NaiveSnapshotCheckpointer>(engine, opts);
+      return Status::OK();
+    }
+    case CheckpointAlgorithm::kFuzzy:
+    case CheckpointAlgorithm::kPFuzzy: {
+      FuzzyOptions opts;
+      opts.partial = options_.algorithm == CheckpointAlgorithm::kPFuzzy;
+      opts.tracker = options_.dirty_tracker;
+      checkpointer_ = std::make_unique<FuzzyCheckpointer>(engine, opts);
+      return Status::OK();
+    }
+    case CheckpointAlgorithm::kIpp:
+    case CheckpointAlgorithm::kPIpp: {
+      IppOptions opts;
+      opts.partial = options_.algorithm == CheckpointAlgorithm::kPIpp;
+      opts.tracker = options_.dirty_tracker;
+      checkpointer_ = std::make_unique<IppCheckpointer>(engine, opts);
+      return Status::OK();
+    }
+    case CheckpointAlgorithm::kZigzag:
+    case CheckpointAlgorithm::kPZigzag: {
+      ZigzagOptions opts;
+      opts.partial = options_.algorithm == CheckpointAlgorithm::kPZigzag;
+      opts.tracker = options_.dirty_tracker;
+      checkpointer_ = std::make_unique<ZigzagCheckpointer>(engine, opts);
+      return Status::OK();
+    }
+    case CheckpointAlgorithm::kMvcc: {
+      MvccOptions opts;
+      opts.eager_gc = options_.mvcc_eager_gc;
+      checkpointer_ = std::make_unique<MvccCheckpointer>(engine, opts);
+      return Status::OK();
+    }
+    case CheckpointAlgorithm::kFork:
+      checkpointer_ = std::make_unique<ForkSnapshotCheckpointer>(engine);
+      return Status::OK();
+  }
+  return Status::InvalidArgument("unknown checkpoint algorithm");
+}
+
+Status Database::Start() {
+  if (started_) return Status::InvalidArgument("already started");
+  CALCDB_RETURN_NOT_OK(MakeCheckpointer());
+  EngineContext engine;
+  engine.store = store_.get();
+  engine.log = &log_;
+  engine.phases = &phases_;
+  engine.gate = &gate_;
+  engine.ckpt_storage = &ckpt_storage_;
+  executor_ = std::make_unique<Executor>(engine, &registry_,
+                                         checkpointer_.get(),
+                                         &lock_manager_);
+  if (options_.background_merge && checkpointer_->is_partial()) {
+    merger_ = std::make_unique<CheckpointMerger>(&ckpt_storage_);
+    merger_->StartBackground(options_.merge_batch);
+  }
+  if (!options_.command_log_path.empty()) {
+    streamer_ = std::make_unique<CommandLogStreamer>(&log_);
+    CALCDB_RETURN_NOT_OK(streamer_->Start(options_.command_log_path,
+                                          options_.command_log_flush_ms));
+  }
+  started_ = true;
+  return Status::OK();
+}
+
+Status Database::Checkpoint() {
+  if (!started_) return Status::InvalidArgument("Checkpoint before Start");
+  return checkpointer_->RunCheckpointCycle();
+}
+
+Status Database::StartPeriodicCheckpoints(int interval_ms) {
+  if (!started_) return Status::InvalidArgument("not started");
+  if (options_.algorithm == CheckpointAlgorithm::kNone) {
+    return Status::InvalidArgument("no checkpointer configured");
+  }
+  if (periodic_running_.exchange(true)) {
+    return Status::InvalidArgument("periodic checkpoints already running");
+  }
+  periodic_thread_ = std::thread([this, interval_ms] {
+    int64_t next = NowMicros();
+    while (periodic_running_.load(std::memory_order_acquire)) {
+      int64_t now = NowMicros();
+      if (now < next) {
+        SleepMicros(std::min<int64_t>(next - now, 20000));
+        continue;
+      }
+      next = now + static_cast<int64_t>(interval_ms) * 1000;
+      Status st = checkpointer_->RunCheckpointCycle();
+      if (st.ok()) {
+        periodic_done_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  });
+  return Status::OK();
+}
+
+void Database::StopPeriodicCheckpoints() {
+  if (!periodic_running_.exchange(false)) return;
+  if (periodic_thread_.joinable()) periodic_thread_.join();
+}
+
+std::string Database::GetStatsString() const {
+  char buf[256];
+  std::string out;
+  auto line = [&](const char* key, unsigned long long v) {
+    std::snprintf(buf, sizeof(buf), "calcdb.%s: %llu\n", key, v);
+    out += buf;
+  };
+  out += "calcdb.algorithm: ";
+  out += AlgorithmName(options_.algorithm);
+  out += "\n";
+  line("store.slots", store_->NumSlots());
+  line("store.max_records", options_.max_records);
+  if (executor_ != nullptr) {
+    line("txn.committed", executor_->committed());
+    line("txn.aborted", executor_->aborted());
+  }
+  line("log.entries", log_.Size());
+  line("log.vpoc_count", log_.VpocCount());
+  std::vector<CheckpointInfo> ckpts = ckpt_storage_.List();
+  line("checkpoint.count", ckpts.size());
+  line("checkpoint.chain_len", ckpt_storage_.RecoveryChain().size());
+  if (checkpointer_ != nullptr) {
+    CheckpointCycleStats last = checkpointer_->last_cycle();
+    line("checkpoint.last.records", last.records_written);
+    line("checkpoint.last.bytes", last.bytes_written);
+    line("checkpoint.last.quiesce_us",
+         static_cast<unsigned long long>(last.quiesce_micros));
+    line("checkpoint.last.capture_us",
+         static_cast<unsigned long long>(last.capture_micros));
+  }
+  line("memory.value_bytes",
+       static_cast<unsigned long long>(
+           MemoryTracker::Global().value_bytes()));
+  line("memory.pool_bytes", static_cast<unsigned long long>(
+                                MemoryTracker::Global().pool_bytes()));
+  if (streamer_ != nullptr) {
+    line("commandlog.persisted_lsn", streamer_->persisted_lsn());
+  }
+  line("checkpoint.periodic_done", periodic_done_.load());
+  return out;
+}
+
+Status Database::Read(uint64_t key, std::string* value) {
+  if (!started_) return store_->Get(key, value);
+  Record* rec = store_->Find(key);
+  if (rec == nullptr) return Status::NotFound();
+  Txn dummy;
+  Value* v = checkpointer_->ReadRecord(dummy, *rec);
+  if (v == nullptr) return Status::NotFound();
+  value->assign(v->data());
+  return Status::OK();
+}
+
+}  // namespace calcdb

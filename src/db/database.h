@@ -1,0 +1,143 @@
+#ifndef CALCDB_DB_DATABASE_H_
+#define CALCDB_DB_DATABASE_H_
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "checkpoint/admission_gate.h"
+#include "checkpoint/checkpointer.h"
+#include "checkpoint/ckpt_storage.h"
+#include "checkpoint/merger.h"
+#include "checkpoint/phase.h"
+#include "db/options.h"
+#include "log/command_log_streamer.h"
+#include "log/commit_log.h"
+#include "recovery/recovery_manager.h"
+#include "storage/kv_store.h"
+#include "txn/executor.h"
+#include "txn/lock_manager.h"
+#include "txn/procedure.h"
+#include "util/status.h"
+
+namespace calcdb {
+
+/// The public face of the library: a memory-resident transactional
+/// key-value store with pluggable asynchronous checkpointing.
+///
+/// Lifecycle:
+///
+///   1. Database::Open(options, &db)        — create the engine
+///   2. db->registry()->Register(...)       — install stored procedures
+///   3. db->Load(key, value) / db->Recover()— populate initial state
+///   4. db->Start()                          — attach the checkpointer
+///                                             (duplicating state for the
+///                                             multi-copy algorithms) and
+///                                             enable execution
+///   5. db->executor()->Execute(...)         — run transactions (usually
+///                                             via the drivers)
+///   6. db->Checkpoint()                      — take one checkpoint
+///                                             (typically from a
+///                                             dedicated thread)
+///
+/// All methods are safe to call from multiple threads after Start().
+class Database {
+ public:
+  static Status Open(const Options& options,
+                     std::unique_ptr<Database>* db);
+  ~Database();
+
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  /// Stored-procedure registry; mutate only before Start().
+  ProcedureRegistry* registry() { return &registry_; }
+
+  /// Bulk-loads one record. Only before Start().
+  Status Load(uint64_t key, std::string_view value);
+
+  /// Restores state from the checkpoint directory: loads the manifest's
+  /// recovery chain and, if `replay_log` is non-null, deterministically
+  /// replays its committed transactions. Only before Start().
+  Status Recover(const CommitLog* replay_log, RecoveryStats* stats);
+
+  /// Writes a full checkpoint of the currently loaded state, providing
+  /// the base that partial checkpoints merge onto. Only before Start().
+  Status WriteBaseCheckpoint();
+
+  /// Attaches the configured checkpointer and enables execution.
+  Status Start();
+
+  /// Takes one checkpoint, synchronously (paper Figure 1's
+  /// RunCheckpointer body; the caller supplies the "signal to start
+  /// checkpointing" by invoking this). Requires Start().
+  Status Checkpoint();
+
+  /// Runs Figure 1's RunCheckpointer loop on a background thread: rest,
+  /// then a checkpoint cycle every `interval_ms` (measured start to
+  /// start; a cycle longer than the interval begins the next one
+  /// immediately). Requires Start(); stopped by StopPeriodicCheckpoints
+  /// or Shutdown.
+  Status StartPeriodicCheckpoints(int interval_ms);
+  void StopPeriodicCheckpoints();
+
+  /// Number of checkpoint cycles completed by the periodic loop.
+  uint64_t periodic_checkpoints_done() const {
+    return periodic_done_.load(std::memory_order_relaxed);
+  }
+
+  /// Transactionally-consistent point read through the checkpointer's
+  /// read hook (non-transactional convenience for tools/tests).
+  Status Read(uint64_t key, std::string* value);
+
+  /// Human-readable engine statistics: transaction counters, store
+  /// occupancy, checkpoint history, memory accounting. One key per line
+  /// ("calcdb.<section>.<name>: <value>").
+  std::string GetStatsString() const;
+
+  Executor* executor() { return executor_.get(); }
+  KVStore* store() { return store_.get(); }
+  CommitLog* commit_log() { return &log_; }
+  CheckpointStorage* checkpoint_storage() { return &ckpt_storage_; }
+  Checkpointer* checkpointer() { return checkpointer_.get(); }
+  CheckpointMerger* merger() { return merger_.get(); }
+  CommandLogStreamer* command_log_streamer() { return streamer_.get(); }
+
+  /// Stops background services (command-log streamer, merger) and flushes
+  /// the command log; called automatically by the destructor. Idempotent.
+  Status Shutdown();
+  PhaseController* phases() { return &phases_; }
+  AdmissionGate* gate() { return &gate_; }
+  const Options& options() const { return options_; }
+  bool started() const { return started_; }
+
+ private:
+  explicit Database(const Options& options);
+
+  Status MakeCheckpointer();
+
+  Options options_;
+  std::unique_ptr<ValuePool> pool_;
+  std::unique_ptr<KVStore> store_;
+  CommitLog log_;
+  PhaseController phases_;
+  AdmissionGate gate_;
+  CheckpointStorage ckpt_storage_;
+  ProcedureRegistry registry_;
+  LockManager lock_manager_;
+
+  std::unique_ptr<Checkpointer> checkpointer_;
+  std::unique_ptr<Executor> executor_;
+  std::unique_ptr<CheckpointMerger> merger_;
+  std::unique_ptr<CommandLogStreamer> streamer_;
+  bool started_ = false;
+
+  std::atomic<bool> periodic_running_{false};
+  std::atomic<uint64_t> periodic_done_{0};
+  std::thread periodic_thread_;
+};
+
+}  // namespace calcdb
+
+#endif  // CALCDB_DB_DATABASE_H_

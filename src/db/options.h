@@ -1,0 +1,82 @@
+#ifndef CALCDB_DB_OPTIONS_H_
+#define CALCDB_DB_OPTIONS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "checkpoint/dirty_tracker.h"
+
+namespace calcdb {
+
+/// Which checkpointing algorithm a Database instance runs (paper §4.1:
+/// CALC/pCALC plus the four comparison points, each with a partial
+/// variant, plus the no-checkpointing baseline).
+enum class CheckpointAlgorithm {
+  kNone = 0,
+  kCalc,
+  kPCalc,
+  kNaive,
+  kPNaive,
+  kFuzzy,   // full variant (extra in-memory snapshot copy)
+  kPFuzzy,  // traditional fuzzy: partial (the paper's default)
+  kIpp,
+  kPIpp,
+  kZigzag,
+  kPZigzag,
+  /// Full multi-versioning (paper §2.1's MVCC alternative): free virtual
+  /// points of consistency, version-chain memory cost.
+  kMvcc,
+  /// Hyper-style fork() + OS copy-on-write snapshot (paper §6): requires
+  /// a physical point of consistency; no partial checkpoints.
+  kFork,
+};
+
+const char* AlgorithmName(CheckpointAlgorithm algo);
+
+/// Parses "calc", "pcalc", "naive", ... (case-insensitive). Returns false
+/// on unknown names.
+bool ParseAlgorithm(const std::string& name, CheckpointAlgorithm* out);
+
+/// Database configuration.
+struct Options {
+  /// Hard cap on distinct keys (sizes the hash table and every per-record
+  /// bit vector / sidecar array).
+  uint64_t max_records = 1 << 20;
+
+  CheckpointAlgorithm algorithm = CheckpointAlgorithm::kCalc;
+
+  /// Directory for checkpoint files and the manifest.
+  std::string checkpoint_dir = "/tmp/calcdb_ckpt";
+
+  /// Simulated checkpoint-device bandwidth (paper testbed: a magnetic
+  /// disk at 100-150 MB/s sequential). 0 disables throttling.
+  uint64_t disk_bytes_per_sec = 125ull << 20;
+
+  /// Lock-table stripes for the deadlock-free 2PL lock manager.
+  size_t lock_stripes = 1 << 16;
+
+  /// Pre-allocate/recycle stable-record memory from a pool (paper §5.1.6).
+  bool use_value_pool = true;
+
+  /// Dirty-key structure for the partial algorithms (paper §2.3 default:
+  /// bit vector).
+  DirtyTrackerKind dirty_tracker = DirtyTrackerKind::kBitVector;
+
+  /// Run the background partial-checkpoint collapser, merging once
+  /// `merge_batch` partials accumulate (paper §5.1.3: batches of 4/8/16).
+  bool background_merge = false;
+  size_t merge_batch = 4;
+
+  /// Stream the command log (transaction inputs in commit order) to this
+  /// file continuously; empty disables streaming. Recovery replays it
+  /// after loading the newest checkpoint chain.
+  std::string command_log_path;
+  int command_log_flush_ms = 10;
+
+  /// kMvcc only: eagerly free superseded versions (see MvccOptions).
+  bool mvcc_eager_gc = false;
+};
+
+}  // namespace calcdb
+
+#endif  // CALCDB_DB_OPTIONS_H_

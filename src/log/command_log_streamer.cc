@@ -1,0 +1,48 @@
+#include "log/command_log_streamer.h"
+
+#include "util/clock.h"
+
+namespace calcdb {
+
+Status CommandLogStreamer::Start(const std::string& path,
+                                 int flush_interval_ms) {
+  if (running_.exchange(true)) return Status::InvalidArgument("running");
+  CALCDB_RETURN_NOT_OK(writer_.Open(path, /*max_bytes_per_sec=*/0));
+  persisted_lsn_.store(0, std::memory_order_release);
+  background_status_ = Status::OK();
+  thread_ = std::thread([this, flush_interval_ms] {
+    while (running_.load(std::memory_order_acquire)) {
+      Status st = FlushUpTo(log_->Size());
+      if (!st.ok()) {
+        background_status_ = st;
+        return;
+      }
+      SleepMicros(static_cast<int64_t>(flush_interval_ms) * 1000);
+    }
+  });
+  return Status::OK();
+}
+
+Status CommandLogStreamer::FlushUpTo(uint64_t target_lsn) {
+  uint64_t from = persisted_lsn_.load(std::memory_order_acquire);
+  if (target_lsn <= from) return Status::OK();
+  std::string batch;
+  for (uint64_t lsn = from; lsn < target_lsn; ++lsn) {
+    CommitLog::EncodeEntry(log_->Entry(lsn), &batch);
+  }
+  CALCDB_RETURN_NOT_OK(writer_.Append(batch.data(), batch.size()));
+  CALCDB_RETURN_NOT_OK(writer_.Flush());
+  persisted_lsn_.store(target_lsn, std::memory_order_release);
+  return Status::OK();
+}
+
+Status CommandLogStreamer::Stop() {
+  if (!running_.exchange(false)) return Status::OK();
+  if (thread_.joinable()) thread_.join();
+  CALCDB_RETURN_NOT_OK(background_status_);
+  // Final drain: everything committed before Stop is durable afterwards.
+  CALCDB_RETURN_NOT_OK(FlushUpTo(log_->Size()));
+  return writer_.Close();
+}
+
+}  // namespace calcdb

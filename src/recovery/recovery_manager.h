@@ -1,0 +1,56 @@
+#ifndef CALCDB_RECOVERY_RECOVERY_MANAGER_H_
+#define CALCDB_RECOVERY_RECOVERY_MANAGER_H_
+
+#include <cstdint>
+
+#include "checkpoint/ckpt_storage.h"
+#include "log/commit_log.h"
+#include "storage/kv_store.h"
+#include "txn/procedure.h"
+#include "util/status.h"
+
+namespace calcdb {
+
+/// Timing and size breakdown of a recovery (paper §5.1.3 measures the
+/// merge component of this as "recovery time").
+struct RecoveryStats {
+  uint64_t checkpoints_loaded = 0;
+  uint64_t entries_applied = 0;
+  uint64_t txns_replayed = 0;
+  int64_t load_micros = 0;    ///< checkpoint chain load + merge time
+  int64_t replay_micros = 0;  ///< deterministic command replay time
+  uint64_t replay_from_lsn = 0;
+};
+
+/// Recovery (paper §3): load the newest full checkpoint, apply every later
+/// partial in order (latest wins, tombstones delete), then deterministically
+/// replay the command log's committed transactions from the loaded
+/// checkpoint's point of consistency onward.
+///
+/// Replay correctness rests on two properties of this engine: strict 2PL
+/// makes the commit-token order consistent with the serialization order
+/// for every conflicting transaction pair, and stored procedures are
+/// deterministic functions of (args, visible state) — so serial
+/// re-execution in commit order reproduces the pre-crash state exactly.
+class RecoveryManager {
+ public:
+  /// Loads the manifest's recovery chain into `store` (which should be
+  /// empty). Sets `*replay_from_lsn` to the last loaded checkpoint's
+  /// point-of-consistency LSN (0 with no checkpoints).
+  static Status LoadCheckpoints(CheckpointStorage* storage, KVStore* store,
+                                RecoveryStats* stats);
+
+  /// Replays committed transactions with LSN > stats->replay_from_lsn.
+  static Status ReplayLog(const CommitLog& log,
+                          const ProcedureRegistry& registry, KVStore* store,
+                          RecoveryStats* stats);
+
+  /// LoadCheckpoints + ReplayLog.
+  static Status Recover(CheckpointStorage* storage, const CommitLog& log,
+                        const ProcedureRegistry& registry, KVStore* store,
+                        RecoveryStats* stats);
+};
+
+}  // namespace calcdb
+
+#endif  // CALCDB_RECOVERY_RECOVERY_MANAGER_H_

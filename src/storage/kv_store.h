@@ -1,0 +1,88 @@
+#ifndef CALCDB_STORAGE_KV_STORE_H_
+#define CALCDB_STORAGE_KV_STORE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "storage/record.h"
+#include "storage/value.h"
+#include "util/latch.h"
+#include "util/status.h"
+
+namespace calcdb {
+
+/// The memory-resident hash-table storage engine (paper §4: "we implemented
+/// a memory-resident key-value store with full transactional support" with
+/// "the same hash-table-based storage engine ... used for CALC").
+///
+/// Keys are 64-bit; values arbitrary byte strings. Record slots are never
+/// physically removed: deletion clears the live pointer (tombstone), so
+/// record indexes stay dense and stable for the lifetime of the store —
+/// the property the bit-vector structures rely on.
+///
+/// Capacity is bounded by `max_records` passed at construction; the bound
+/// sizes every per-record bit vector in the checkpointers. Exceeding it
+/// returns an error rather than resizing (in-place resize under concurrent
+/// lock-free readers is out of scope, as in the paper's prototype).
+class KVStore {
+ public:
+  /// `max_records`: hard cap on distinct keys ever inserted.
+  /// `pool`: optional value pool for allocation recycling (may be null).
+  explicit KVStore(uint64_t max_records, ValuePool* pool = nullptr);
+  ~KVStore();
+
+  KVStore(const KVStore&) = delete;
+  KVStore& operator=(const KVStore&) = delete;
+
+  /// Finds the record slot for `key`, or null if no slot exists yet. The
+  /// returned record may still be a tombstone (live == nullptr).
+  Record* Find(uint64_t key) const;
+
+  /// Finds or creates the record slot for `key`. Returns null only if the
+  /// store is at max_records capacity.
+  Record* FindOrCreate(uint64_t key);
+
+  /// Record by dense index, in [0, NumSlots()).
+  Record* ByIndex(uint32_t index) const;
+
+  /// Number of record slots ever created (dense index upper bound).
+  uint32_t NumSlots() const {
+    return num_slots_.load(std::memory_order_acquire);
+  }
+
+  uint64_t max_records() const { return max_records_; }
+  ValuePool* pool() const { return pool_; }
+
+  /// Convenience non-transactional accessors (loading, tests, recovery).
+  /// Not for use while worker threads are running.
+  Status Put(uint64_t key, std::string_view value);
+  Status Get(uint64_t key, std::string* value) const;
+  Status Delete(uint64_t key);
+
+  /// Number of present (non-tombstone) records. O(slots).
+  uint64_t CountPresent() const;
+
+ private:
+  static constexpr size_t kChunkShift = 16;  // 64K records per arena chunk
+  static constexpr size_t kChunkSize = size_t{1} << kChunkShift;
+
+  Record* AllocateRecord(uint64_t key);
+
+  uint64_t max_records_;
+  ValuePool* pool_;
+  size_t bucket_mask_;
+  std::vector<std::atomic<Record*>> buckets_;
+
+  // Arena of record slots, chunked so that Record* stay valid forever.
+  mutable SpinLatch arena_latch_;
+  std::vector<std::unique_ptr<Record[]>> chunks_;
+  std::atomic<uint32_t> num_slots_{0};
+};
+
+}  // namespace calcdb
+
+#endif  // CALCDB_STORAGE_KV_STORE_H_

@@ -1,0 +1,66 @@
+#ifndef CALCDB_STORAGE_RECORD_H_
+#define CALCDB_STORAGE_RECORD_H_
+
+#include <cstdint>
+
+#include "storage/value.h"
+#include "util/latch.h"
+
+namespace calcdb {
+
+/// A record slot in the store.
+///
+/// Every record carries *two* version pointers, following the paper's
+/// storage structure ("each record key is associated with two record
+/// versions — one live and one stable", §2.2). The checkpointing algorithms
+/// give them different meanings:
+///
+///  - CALC / Naive / Fuzzy: `live` is the current value; `stable` is the
+///    pre-point-of-consistency value (empty in the rest phase).
+///  - Zigzag: the two slots are AS[key]_0 and AS[key]_1; the MR / MW bit
+///    vectors pick which to read / overwrite.
+///  - IPP: `live` is the application state; the odd / even copies live in
+///    checkpointer-owned sidecar arrays indexed by `index`.
+///
+/// `live == nullptr` means the key is absent (never inserted, or deleted).
+/// `stable == kAbsentMarker` records "this key was absent at the virtual
+/// point of consistency" — the pointer-level equivalent of the paper's
+/// add_status bit vector (footnote 1): the capture scan skips such keys.
+///
+/// Concurrency: transactions access a record only while holding its lock
+/// from the LockManager (strict 2PL). The asynchronous checkpoint thread
+/// does NOT take transaction locks; instead, every manipulation of the two
+/// version pointers — by mutators and by the checkpointer — happens under
+/// the record's one-byte micro-latch, held for a few instructions. This is
+/// the "no additional blocking synchronization" coordination of §2.2.4.
+struct Record {
+  /// Sentinel for `stable` meaning "key absent at the point of
+  /// consistency". Never dereferenced.
+  static Value* AbsentMarker() {
+    return reinterpret_cast<Value*>(uintptr_t{1});
+  }
+  static bool IsRealValue(const Value* v) {
+    return v != nullptr && v != AbsentMarker();
+  }
+
+  uint64_t key = 0;
+  uint32_t index = 0;  ///< dense index for bit vectors / sidecar arrays
+  SpinLatch latch;
+
+  /// CALC's per-record stable-status, generalized from the paper's bit
+  /// vector with sense swap to a cycle stamp: the stable version is
+  /// "available" iff `stable_cycle` equals the current checkpoint cycle
+  /// id. Bumping the cycle id is the paper's O(1)
+  /// SwapAvailableAndNotAvailable(), but stays correct for record slots
+  /// created in the middle of a cycle (fresh slots carry stamp 0, i.e.
+  /// "not available", under every cycle id). Accessed under `latch`.
+  uint32_t stable_cycle = 0;
+
+  Value* live = nullptr;    ///< owned reference (refcount held)
+  Value* stable = nullptr;  ///< owned reference or AbsentMarker()
+  Record* next = nullptr;   ///< hash chain
+};
+
+}  // namespace calcdb
+
+#endif  // CALCDB_STORAGE_RECORD_H_

@@ -1,0 +1,131 @@
+#include "storage/value.h"
+
+#include <cstdlib>
+#include <new>
+
+#include "storage/memory_tracker.h"
+
+namespace calcdb {
+
+Value* Value::Create(std::string_view data, ValuePool* pool) {
+  size_t total = sizeof(Value) + data.size();
+  void* block;
+  uint32_t alloc_size;
+  if (pool != nullptr) {
+    block = pool->Allocate(total, &alloc_size);
+  } else {
+    block = std::malloc(total);
+    alloc_size = static_cast<uint32_t>(total);
+    MemoryTracker::Global().AddValueBytes(
+        static_cast<int64_t>(alloc_size));
+  }
+  auto* v = new (block) Value();
+  v->refs_.store(1, std::memory_order_relaxed);
+  v->size_ = static_cast<uint32_t>(data.size());
+  v->alloc_size_ = alloc_size;
+  v->pool_ = pool;
+  std::memcpy(reinterpret_cast<char*>(v) + sizeof(Value), data.data(),
+              data.size());
+  return v;
+}
+
+void Value::Unref(Value* v) {
+  if (v == nullptr) return;
+  if (v->refs_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    ValuePool* pool = v->pool_;
+    uint32_t alloc_size = v->alloc_size_;
+    v->~Value();
+    if (pool != nullptr) {
+      pool->Release(v, alloc_size);
+    } else {
+      MemoryTracker::Global().AddValueBytes(
+          -static_cast<int64_t>(alloc_size));
+      std::free(v);
+    }
+  }
+}
+
+ValuePool::ValuePool() = default;
+
+ValuePool::~ValuePool() {
+  for (auto& cls : classes_) {
+    FreeNode* node = cls.head;
+    while (node != nullptr) {
+      FreeNode* next = node->next;
+      MemoryTracker::Global().AddPoolBytes(
+          -static_cast<int64_t>(node->alloc_size));
+      std::free(node);
+      node = next;
+    }
+    cls.head = nullptr;
+  }
+}
+
+int ValuePool::ClassFor(size_t bytes) {
+  size_t cls_bytes = kMinClassBytes;
+  for (int cls = 0; cls < kNumClasses; ++cls) {
+    if (bytes <= cls_bytes) return cls;
+    cls_bytes <<= 1;
+  }
+  return -1;  // too large for the pool
+}
+
+void* ValuePool::Allocate(size_t bytes, uint32_t* alloc_size) {
+  int cls = ClassFor(bytes);
+  if (cls < 0) {
+    // Oversized: fall back to malloc; accounted as value bytes directly.
+    *alloc_size = static_cast<uint32_t>(bytes);
+    MemoryTracker::Global().AddValueBytes(static_cast<int64_t>(bytes));
+    return std::malloc(bytes);
+  }
+  *alloc_size = static_cast<uint32_t>(ClassBytes(cls));
+  SizeClass& sc = classes_[cls];
+  {
+    SpinLatchGuard guard(sc.latch);
+    if (sc.head != nullptr) {
+      FreeNode* node = sc.head;
+      sc.head = node->next;
+      // Block moves from parked (pool) to in-use (value) accounting.
+      MemoryTracker::Global().AddPoolBytes(
+          -static_cast<int64_t>(*alloc_size));
+      MemoryTracker::Global().AddValueBytes(
+          static_cast<int64_t>(*alloc_size));
+      return node;
+    }
+  }
+  MemoryTracker::Global().AddValueBytes(static_cast<int64_t>(*alloc_size));
+  return std::malloc(*alloc_size);
+}
+
+void ValuePool::Release(void* block, uint32_t alloc_size) {
+  int cls = ClassFor(alloc_size);
+  if (cls < 0 || ClassBytes(cls) != alloc_size) {
+    MemoryTracker::Global().AddValueBytes(
+        -static_cast<int64_t>(alloc_size));
+    std::free(block);
+    return;
+  }
+  MemoryTracker::Global().AddValueBytes(-static_cast<int64_t>(alloc_size));
+  MemoryTracker::Global().AddPoolBytes(static_cast<int64_t>(alloc_size));
+  auto* node = static_cast<FreeNode*>(block);
+  node->alloc_size = alloc_size;
+  SizeClass& sc = classes_[cls];
+  SpinLatchGuard guard(sc.latch);
+  node->next = sc.head;
+  sc.head = node;
+}
+
+size_t ValuePool::FreeBlocks() const {
+  size_t n = 0;
+  for (const auto& cls : classes_) {
+    SpinLatchGuard guard(const_cast<SpinLatch&>(cls.latch));
+    FreeNode* node = cls.head;
+    while (node != nullptr) {
+      ++n;
+      node = node->next;
+    }
+  }
+  return n;
+}
+
+}  // namespace calcdb

@@ -1,0 +1,148 @@
+#ifndef CALCDB_STORAGE_VALUE_H_
+#define CALCDB_STORAGE_VALUE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+#include "util/latch.h"
+
+namespace calcdb {
+
+class ValuePool;
+
+/// An immutable, atomically refcounted byte buffer.
+///
+/// Record versions (live and stable) are Values. Immutability is what lets
+/// the asynchronous checkpoint thread read a version without locking: a
+/// transaction never mutates a Value in place, it installs a freshly
+/// allocated one under the record's micro-latch. "Copy the live version to
+/// the stable version" (paper Figure 1) therefore becomes a pointer install
+/// plus a refcount increment, with the same memory accounting as a physical
+/// copy (the old buffer stays alive for as long as the stable version is
+/// needed).
+class Value {
+ public:
+  /// Allocates a Value holding a copy of `data`. If `pool` is non-null the
+  /// buffer comes from the pool's size-class freelists (paper §5.1.6:
+  /// "pre-allocates a pool of space for stable records").
+  static Value* Create(std::string_view data, ValuePool* pool = nullptr);
+
+  /// Increments the refcount.
+  static Value* Ref(Value* v) {
+    if (v != nullptr) v->refs_.fetch_add(1, std::memory_order_relaxed);
+    return v;
+  }
+
+  /// Decrements the refcount and frees at zero.
+  static void Unref(Value* v);
+
+  std::string_view data() const {
+    return std::string_view(
+        reinterpret_cast<const char*>(this) + sizeof(Value), size_);
+  }
+  uint32_t size() const { return size_; }
+  uint32_t refcount() const {
+    return refs_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class ValuePool;
+
+  Value() = default;
+
+  std::atomic<uint32_t> refs_;
+  uint32_t size_;
+  uint32_t alloc_size_;  // size of the whole block, for pool recycling
+  ValuePool* pool_;      // null if malloc'd
+};
+
+/// A freelist-based recycler for Value blocks, sharded into size classes.
+///
+/// Avoids the allocate/free churn of stable-version installation during
+/// checkpoints (paper §5.1.6). Blocks are never returned to the OS while
+/// the pool lives; MemoryTracker::pool_bytes reports parked capacity, which
+/// is why CALC's practical memory profile is flat at its peak requirement.
+class ValuePool {
+ public:
+  ValuePool();
+  ~ValuePool();
+
+  ValuePool(const ValuePool&) = delete;
+  ValuePool& operator=(const ValuePool&) = delete;
+
+  /// Allocates a block of at least `bytes`; returns block and its size.
+  void* Allocate(size_t bytes, uint32_t* alloc_size);
+
+  /// Returns a block of `alloc_size` bytes to the freelist.
+  void Release(void* block, uint32_t alloc_size);
+
+  /// Number of blocks currently parked across all freelists.
+  size_t FreeBlocks() const;
+
+ private:
+  struct FreeNode {
+    FreeNode* next;
+    uint32_t alloc_size;
+  };
+  struct alignas(64) SizeClass {
+    SpinLatch latch;
+    FreeNode* head = nullptr;
+  };
+
+  static constexpr int kNumClasses = 9;  // 32, 64, 128, ... 8192 bytes
+  static constexpr size_t kMinClassBytes = 32;
+
+  static int ClassFor(size_t bytes);
+  static size_t ClassBytes(int cls) { return kMinClassBytes << cls; }
+
+  SizeClass classes_[kNumClasses];
+};
+
+/// RAII handle to a Value.
+class ValueRef {
+ public:
+  ValueRef() : v_(nullptr) {}
+  /// Takes ownership of one reference (does not increment).
+  static ValueRef Adopt(Value* v) { return ValueRef(v); }
+  /// Shares ownership (increments).
+  static ValueRef Share(Value* v) { return ValueRef(Value::Ref(v)); }
+
+  ValueRef(const ValueRef& o) : v_(Value::Ref(o.v_)) {}
+  ValueRef(ValueRef&& o) noexcept : v_(o.v_) { o.v_ = nullptr; }
+  ValueRef& operator=(const ValueRef& o) {
+    if (this != &o) {
+      Value::Unref(v_);
+      v_ = Value::Ref(o.v_);
+    }
+    return *this;
+  }
+  ValueRef& operator=(ValueRef&& o) noexcept {
+    if (this != &o) {
+      Value::Unref(v_);
+      v_ = o.v_;
+      o.v_ = nullptr;
+    }
+    return *this;
+  }
+  ~ValueRef() { Value::Unref(v_); }
+
+  Value* get() const { return v_; }
+  Value* release() {
+    Value* v = v_;
+    v_ = nullptr;
+    return v;
+  }
+  explicit operator bool() const { return v_ != nullptr; }
+  std::string_view data() const { return v_->data(); }
+
+ private:
+  explicit ValueRef(Value* v) : v_(v) {}
+  Value* v_;
+};
+
+}  // namespace calcdb
+
+#endif  // CALCDB_STORAGE_VALUE_H_

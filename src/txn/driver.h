@@ -1,0 +1,97 @@
+#ifndef CALCDB_TXN_DRIVER_H_
+#define CALCDB_TXN_DRIVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "txn/executor.h"
+#include "txn/stats.h"
+#include "util/rng.h"
+
+namespace calcdb {
+
+/// One transaction request produced by a workload generator.
+struct TxnRequest {
+  uint32_t proc_id = 0;
+  std::string args;
+};
+
+/// Source of transaction inputs. Implementations must be thread-safe
+/// (each worker passes its own Rng) and deterministic given the Rng state.
+class WorkloadGenerator {
+ public:
+  virtual ~WorkloadGenerator() = default;
+  virtual TxnRequest Next(Rng& rng) = 0;
+};
+
+/// Closed-loop driver: each worker issues the next transaction the moment
+/// the previous one finishes — the paper's "peak workload (the database
+/// system is 100% busy)" condition (§5.1.1).
+class ClosedLoopDriver {
+ public:
+  ClosedLoopDriver(Executor* executor, WorkloadGenerator* workload,
+                   RunMetrics* metrics, int num_workers,
+                   uint64_t seed = 42);
+  ~ClosedLoopDriver();
+
+  ClosedLoopDriver(const ClosedLoopDriver&) = delete;
+  ClosedLoopDriver& operator=(const ClosedLoopDriver&) = delete;
+
+  void Start();
+  void Stop();  ///< signals workers and joins them
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+ private:
+  void WorkerLoop(int worker_id);
+
+  Executor* executor_;
+  WorkloadGenerator* workload_;
+  RunMetrics* metrics_;
+  int num_workers_;
+  uint64_t seed_;
+  std::atomic<bool> running_{false};
+  std::vector<std::thread> workers_;
+};
+
+/// Open-loop driver: transactions arrive on a fixed schedule at
+/// `target_rate` per second regardless of completion, so queueing delay
+/// during checkpoint-induced stalls shows up as latency — the mechanism
+/// behind the paper's Figure 5 ("all transactions that enter the system
+/// after the first time the database is quiesced experience the latency of
+/// the quiesce period"). Latency is measured from scheduled arrival to
+/// commit.
+class OpenLoopDriver {
+ public:
+  OpenLoopDriver(Executor* executor, WorkloadGenerator* workload,
+                 RunMetrics* metrics, int num_workers, double target_rate,
+                 uint64_t seed = 42);
+  ~OpenLoopDriver();
+
+  OpenLoopDriver(const OpenLoopDriver&) = delete;
+  OpenLoopDriver& operator=(const OpenLoopDriver&) = delete;
+
+  void Start();
+  void Stop();
+
+ private:
+  void WorkerLoop(int worker_id);
+
+  Executor* executor_;
+  WorkloadGenerator* workload_;
+  RunMetrics* metrics_;
+  int num_workers_;
+  double target_rate_;
+  uint64_t seed_;
+  std::atomic<bool> running_{false};
+  std::atomic<uint64_t> next_arrival_index_{0};
+  int64_t schedule_start_us_ = 0;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace calcdb
+
+#endif  // CALCDB_TXN_DRIVER_H_

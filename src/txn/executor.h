@@ -1,0 +1,78 @@
+#ifndef CALCDB_TXN_EXECUTOR_H_
+#define CALCDB_TXN_EXECUTOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "checkpoint/checkpointer.h"
+#include "txn/lock_manager.h"
+#include "txn/procedure.h"
+#include "txn/txn.h"
+#include "util/status.h"
+
+namespace calcdb {
+
+/// The transaction execution engine — Figure 1's Execute() function.
+///
+/// Execute runs one transaction synchronously on the calling thread:
+///
+///   1. admission (blocks if the checkpointer has closed the gate),
+///   2. register with the PhaseController (txn.start_phase := current),
+///   3. acquire all stripe locks in canonical order (deadlock-free 2PL),
+///   4. run the stored procedure against a buffering TxnContext,
+///   5. apply the buffered writes through the checkpointer's write hook,
+///   6. atomically append the commit token (capturing commit phase),
+///   7. run the checkpointer's post-commit fixup,
+///   8. release all locks, deregister from the PhaseController.
+///
+/// Worker pools live in the drivers (driver.h); they all funnel into this
+/// class.
+class Executor {
+ public:
+  Executor(EngineContext engine, const ProcedureRegistry* registry,
+           Checkpointer* checkpointer, LockManager* lock_manager)
+      : engine_(engine),
+        registry_(registry),
+        checkpointer_(checkpointer),
+        lock_manager_(lock_manager) {}
+
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
+
+  /// Executes one transaction to completion. `arrival_us` stamps the
+  /// latency clock (pass NowMicros() for closed-loop). On success the
+  /// transaction is committed and durable in the commit log. If `txn_out`
+  /// is non-null it receives the final descriptor.
+  Status Execute(uint32_t proc_id, std::string args, int64_t arrival_us,
+                 Txn* txn_out = nullptr);
+
+  /// Replays an already-committed command without checkpointer hooks or
+  /// commit logging — the recovery path (paper §3.1). Must not run
+  /// concurrently with normal execution.
+  Status Replay(uint32_t proc_id, std::string_view args);
+
+  uint64_t committed() const {
+    return committed_.load(std::memory_order_relaxed);
+  }
+  uint64_t aborted() const {
+    return aborted_.load(std::memory_order_relaxed);
+  }
+
+  Checkpointer* checkpointer() const { return checkpointer_; }
+  const EngineContext& engine() const { return engine_; }
+
+ private:
+  EngineContext engine_;
+  const ProcedureRegistry* registry_;
+  Checkpointer* checkpointer_;
+  LockManager* lock_manager_;
+
+  std::atomic<uint64_t> next_txn_id_{1};
+  std::atomic<uint64_t> committed_{0};
+  std::atomic<uint64_t> aborted_{0};
+};
+
+}  // namespace calcdb
+
+#endif  // CALCDB_TXN_EXECUTOR_H_

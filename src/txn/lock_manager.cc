@@ -1,0 +1,67 @@
+#include "txn/lock_manager.h"
+
+#include <algorithm>
+
+namespace calcdb {
+
+namespace {
+size_t NextPow2(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+}  // namespace
+
+LockManager::LockManager(size_t num_stripes)
+    : stripes_(NextPow2(num_stripes)), mask_(stripes_.size() - 1) {}
+
+uint32_t LockManager::StripeFor(uint64_t key) const {
+  uint64_t x = key * 0x9e3779b97f4a7c15ULL;
+  x ^= x >> 29;
+  return static_cast<uint32_t>(x & mask_);
+}
+
+LockManager::LockSet LockManager::Resolve(const KeySets& sets) const {
+  LockSet out;
+  out.reserve(sets.read_keys.size() + sets.write_keys.size());
+  for (uint64_t k : sets.write_keys) {
+    out.push_back({StripeFor(k), true});
+  }
+  for (uint64_t k : sets.read_keys) {
+    out.push_back({StripeFor(k), false});
+  }
+  std::sort(out.begin(), out.end());
+  // Deduplicate stripes; exclusive wins. Writes sort before reads within a
+  // stripe only by construction order, so merge modes explicitly.
+  LockSet dedup;
+  for (const StripeLock& sl : out) {
+    if (!dedup.empty() && dedup.back().stripe == sl.stripe) {
+      dedup.back().exclusive |= sl.exclusive;
+    } else {
+      dedup.push_back(sl);
+    }
+  }
+  return dedup;
+}
+
+void LockManager::AcquireAll(const LockSet& set) {
+  for (const StripeLock& sl : set) {
+    if (sl.exclusive) {
+      stripes_[sl.stripe].Lock();
+    } else {
+      stripes_[sl.stripe].LockShared();
+    }
+  }
+}
+
+void LockManager::ReleaseAll(const LockSet& set) {
+  for (const StripeLock& sl : set) {
+    if (sl.exclusive) {
+      stripes_[sl.stripe].Unlock();
+    } else {
+      stripes_[sl.stripe].UnlockShared();
+    }
+  }
+}
+
+}  // namespace calcdb

@@ -1,0 +1,20 @@
+#include "txn/procedure.h"
+
+#include <cassert>
+
+namespace calcdb {
+
+void ProcedureRegistry::Register(std::unique_ptr<StoredProcedure> proc) {
+  uint32_t id = proc->id();
+  auto [it, inserted] = procs_.emplace(id, std::move(proc));
+  (void)it;
+  assert(inserted && "duplicate procedure id");
+  (void)inserted;
+}
+
+const StoredProcedure* ProcedureRegistry::Find(uint32_t id) const {
+  auto it = procs_.find(id);
+  return it == procs_.end() ? nullptr : it->second.get();
+}
+
+}  // namespace calcdb

@@ -1,0 +1,77 @@
+#ifndef CALCDB_TXN_PROCEDURE_H_
+#define CALCDB_TXN_PROCEDURE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace calcdb {
+
+class TxnContext;
+
+/// Declared read/write sets of one transaction execution.
+///
+/// Transactions in this system are C++ stored procedures (paper §4) whose
+/// key sets are derivable from their input, which is what makes the
+/// deadlock-free variant of strict two-phase locking possible: all locks
+/// are requested up front in canonical order ("request txn's locks" in
+/// Figure 1's Execute function), so no cycle can form.
+struct KeySets {
+  std::vector<uint64_t> read_keys;   ///< shared access
+  std::vector<uint64_t> write_keys;  ///< exclusive access (incl. inserts
+                                     ///< and deletes)
+
+  /// Set by procedures whose insert keys depend on state read inside the
+  /// transaction (e.g. TPC-C NewOrder keys orders by the district's
+  /// d_next_o_id). Such inserts are safe without their own declared locks
+  /// ONLY when every transaction that could touch those keys must first
+  /// acquire a declared lock this transaction already holds exclusively
+  /// (the district row, for NewOrder). Disables declared-set validation.
+  bool allow_undeclared_writes = false;
+};
+
+/// A deterministic C++ stored procedure.
+///
+/// Requirements for correctness of command-log replay (paper §3.1):
+///  - GetKeys(args) is a pure function of args;
+///  - Run(ctx, args) is deterministic given the database state visible
+///    through ctx (no wall-clock reads, no unseeded randomness).
+class StoredProcedure {
+ public:
+  virtual ~StoredProcedure() = default;
+
+  /// Stable numeric id recorded in the command log.
+  virtual uint32_t id() const = 0;
+  virtual const char* name() const = 0;
+
+  /// Computes the read/write sets from the serialized input.
+  virtual void GetKeys(std::string_view args, KeySets* sets) const = 0;
+
+  /// Executes transaction logic against the context. Returning a non-OK
+  /// status aborts the transaction (its writes are discarded — see
+  /// TxnContext buffering).
+  virtual Status Run(TxnContext& ctx, std::string_view args) const = 0;
+};
+
+/// Registry mapping procedure ids to implementations. Immutable once the
+/// executor starts; replay looks procedures up here by the id stored in
+/// the command log.
+class ProcedureRegistry {
+ public:
+  /// Registers a procedure. Ids must be unique.
+  void Register(std::unique_ptr<StoredProcedure> proc);
+
+  const StoredProcedure* Find(uint32_t id) const;
+
+ private:
+  std::map<uint32_t, std::unique_ptr<StoredProcedure>> procs_;
+};
+
+}  // namespace calcdb
+
+#endif  // CALCDB_TXN_PROCEDURE_H_

@@ -1,0 +1,73 @@
+#ifndef CALCDB_TXN_STATS_H_
+#define CALCDB_TXN_STATS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "util/clock.h"
+#include "util/histogram.h"
+
+namespace calcdb {
+
+/// Per-second committed-transaction counts — the raw series behind every
+/// "throughput over time" figure. Bin 0 starts at construction (or
+/// Restart()).
+class ThroughputRecorder {
+ public:
+  explicit ThroughputRecorder(int max_seconds = 600)
+      : start_us_(NowMicros()), bins_(max_seconds) {
+    for (auto& b : bins_) b.store(0, std::memory_order_relaxed);
+  }
+
+  ThroughputRecorder(const ThroughputRecorder&) = delete;
+  ThroughputRecorder& operator=(const ThroughputRecorder&) = delete;
+
+  void Restart() {
+    start_us_ = NowMicros();
+    for (auto& b : bins_) b.store(0, std::memory_order_relaxed);
+  }
+
+  void RecordCommit(int64_t commit_us) {
+    int64_t sec = (commit_us - start_us_) / 1000000;
+    if (sec >= 0 && sec < static_cast<int64_t>(bins_.size())) {
+      bins_[static_cast<size_t>(sec)].fetch_add(1,
+                                                std::memory_order_relaxed);
+    }
+    total_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Committed counts for seconds [0, upto_second).
+  std::vector<uint64_t> Series(int upto_second) const {
+    std::vector<uint64_t> out;
+    int n = upto_second < static_cast<int>(bins_.size())
+                ? upto_second
+                : static_cast<int>(bins_.size());
+    out.reserve(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      out.push_back(bins_[static_cast<size_t>(i)].load(
+          std::memory_order_relaxed));
+    }
+    return out;
+  }
+
+  uint64_t total() const { return total_.load(std::memory_order_relaxed); }
+  int64_t start_us() const { return start_us_; }
+
+ private:
+  int64_t start_us_;
+  std::vector<std::atomic<uint64_t>> bins_;
+  std::atomic<uint64_t> total_{0};
+};
+
+/// Everything a driver run produces: throughput series + latency CDF.
+struct RunMetrics {
+  ThroughputRecorder throughput;
+  Histogram latency;
+
+  explicit RunMetrics(int max_seconds = 600) : throughput(max_seconds) {}
+};
+
+}  // namespace calcdb
+
+#endif  // CALCDB_TXN_STATS_H_

@@ -1,0 +1,49 @@
+#ifndef CALCDB_TXN_TXN_H_
+#define CALCDB_TXN_TXN_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "checkpoint/phase.h"
+#include "storage/record.h"
+
+namespace calcdb {
+
+/// Per-transaction descriptor threaded through the write/commit hooks.
+///
+/// `start_phase` is recorded the moment the transaction registers with the
+/// PhaseController ("each transaction makes note of the phase during which
+/// it begins executing", paper §2.2); `commit_phase` and `vpoc_count` are
+/// captured atomically with the commit-token append.
+struct Txn {
+  uint64_t txn_id = 0;
+  uint32_t proc_id = 0;
+  Phase start_phase = Phase::kRest;
+  Phase commit_phase = Phase::kRest;
+  uint64_t vpoc_count = 0;  ///< # virtual points of consistency before commit
+  uint64_t commit_lsn = 0;  ///< this transaction's commit-token LSN
+  bool committed = false;
+
+  /// Records this transaction wrote (filled as writes are applied); the
+  /// post-commit fixup (CALC §2.2.2-2.2.3) and dirty-key marking walk it.
+  std::vector<Record*> written_records;
+
+  // Timing (microseconds, NowMicros domain). arrival==start for
+  // closed-loop execution; open-loop drivers set arrival to the scheduled
+  // arrival instant so queueing delay counts toward latency (paper §5.1.4).
+  int64_t arrival_us = 0;
+  int64_t commit_us = 0;
+};
+
+/// One write buffered during procedure execution.
+struct BufferedWrite {
+  uint64_t key;
+  bool is_delete;
+  std::string value;
+};
+
+}  // namespace calcdb
+
+#endif  // CALCDB_TXN_TXN_H_

@@ -1,0 +1,88 @@
+#include "txn/txn_context.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "checkpoint/checkpointer.h"
+
+namespace calcdb {
+
+namespace {
+// Declared-set validation is linear; skip it for big sets (batch writers)
+// where it would dominate execution time.
+constexpr size_t kValidationLimit = 64;
+}  // namespace
+
+bool TxnContext::KeyDeclared(uint64_t key, bool for_write) const {
+  if (sets_->allow_undeclared_writes) return true;
+  const std::vector<uint64_t>& writes = sets_->write_keys;
+  if (writes.size() + sets_->read_keys.size() > kValidationLimit) {
+    return true;
+  }
+  if (std::find(writes.begin(), writes.end(), key) != writes.end()) {
+    return true;
+  }
+  if (for_write) return false;
+  const std::vector<uint64_t>& reads = sets_->read_keys;
+  return std::find(reads.begin(), reads.end(), key) != reads.end();
+}
+
+const BufferedWrite* TxnContext::FindBuffered(uint64_t key) const {
+  // Latest write wins; scan backwards.
+  for (auto it = writes_.rbegin(); it != writes_.rend(); ++it) {
+    if (it->key == key) return &*it;
+  }
+  return nullptr;
+}
+
+Status TxnContext::Read(uint64_t key, std::string* value) {
+  if (!KeyDeclared(key, /*for_write=*/false)) {
+    return Status::InvalidArgument("read of undeclared key");
+  }
+  if (const BufferedWrite* bw = FindBuffered(key)) {
+    if (bw->is_delete) return Status::NotFound();
+    value->assign(bw->value);
+    return Status::OK();
+  }
+  Record* rec = store_->Find(key);
+  if (rec == nullptr) return Status::NotFound();
+  Value* v = ckpt_->ReadRecord(*txn_, *rec);
+  if (v == nullptr) return Status::NotFound();
+  value->assign(v->data());
+  return Status::OK();
+}
+
+bool TxnContext::Exists(uint64_t key) {
+  if (const BufferedWrite* bw = FindBuffered(key)) return !bw->is_delete;
+  Record* rec = store_->Find(key);
+  if (rec == nullptr) return false;
+  return ckpt_->ReadRecord(*txn_, *rec) != nullptr;
+}
+
+Status TxnContext::Write(uint64_t key, std::string_view value) {
+  if (!KeyDeclared(key, /*for_write=*/true)) {
+    return Status::InvalidArgument("write of undeclared key");
+  }
+  writes_.push_back(BufferedWrite{key, false, std::string(value)});
+  return Status::OK();
+}
+
+Status TxnContext::Insert(uint64_t key, std::string_view value) {
+  if (!KeyDeclared(key, /*for_write=*/true)) {
+    return Status::InvalidArgument("insert of undeclared key");
+  }
+  if (Exists(key)) return Status::InvalidArgument("insert of existing key");
+  writes_.push_back(BufferedWrite{key, false, std::string(value)});
+  return Status::OK();
+}
+
+Status TxnContext::Delete(uint64_t key) {
+  if (!KeyDeclared(key, /*for_write=*/true)) {
+    return Status::InvalidArgument("delete of undeclared key");
+  }
+  if (!Exists(key)) return Status::NotFound();
+  writes_.push_back(BufferedWrite{key, true, std::string()});
+  return Status::OK();
+}
+
+}  // namespace calcdb

@@ -1,0 +1,67 @@
+#ifndef CALCDB_TXN_TXN_CONTEXT_H_
+#define CALCDB_TXN_TXN_CONTEXT_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "storage/kv_store.h"
+#include "txn/procedure.h"
+#include "txn/txn.h"
+#include "util/status.h"
+
+namespace calcdb {
+
+class Checkpointer;
+
+/// The view of the database a stored procedure executes against.
+///
+/// Reads go through the checkpointer's read hook (so Zigzag can route them
+/// to AS[MR[key]]). Writes are buffered and applied en masse just before
+/// the commit token is appended; an aborting procedure therefore leaves no
+/// trace in the store. Read-your-writes is honoured within the buffer.
+///
+/// Every access is validated against the transaction's declared key sets
+/// when the sets are small (the deadlock-free locking protocol is sound
+/// only if procedures touch exactly the keys they declared).
+class TxnContext {
+ public:
+  TxnContext(KVStore* store, Checkpointer* ckpt, Txn* txn,
+             const KeySets* sets)
+      : store_(store), ckpt_(ckpt), txn_(txn), sets_(sets) {}
+
+  TxnContext(const TxnContext&) = delete;
+  TxnContext& operator=(const TxnContext&) = delete;
+
+  /// Reads the value of `key`; NotFound if absent.
+  Status Read(uint64_t key, std::string* value);
+
+  /// True if `key` currently exists.
+  bool Exists(uint64_t key);
+
+  /// Upserts `key`.
+  Status Write(uint64_t key, std::string_view value);
+
+  /// Creates `key`; InvalidArgument if it already exists.
+  Status Insert(uint64_t key, std::string_view value);
+
+  /// Deletes `key`; NotFound if absent.
+  Status Delete(uint64_t key);
+
+  const std::vector<BufferedWrite>& writes() const { return writes_; }
+  Txn* txn() const { return txn_; }
+
+ private:
+  bool KeyDeclared(uint64_t key, bool for_write) const;
+  const BufferedWrite* FindBuffered(uint64_t key) const;
+
+  KVStore* store_;
+  Checkpointer* ckpt_;
+  Txn* txn_;
+  const KeySets* sets_;
+  std::vector<BufferedWrite> writes_;
+};
+
+}  // namespace calcdb
+
+#endif  // CALCDB_TXN_TXN_CONTEXT_H_

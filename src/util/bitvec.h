@@ -1,0 +1,152 @@
+#ifndef CALCDB_UTIL_BITVEC_H_
+#define CALCDB_UTIL_BITVEC_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace calcdb {
+
+/// A fixed-capacity bit vector with atomic per-bit operations.
+///
+/// This is the workhorse structure behind pCALC's dirty-key tracking, the
+/// fuzzy checkpointer's dirty-record table, and Zigzag's MR/MW vectors
+/// (paper §2.3: "in practice we found that the bit vector approach usually
+/// outperformed the other two approaches").
+class AtomicBitVector {
+ public:
+  explicit AtomicBitVector(size_t num_bits)
+      : num_bits_(num_bits), words_((num_bits + 63) / 64) {
+    for (auto& w : words_) w.store(0, std::memory_order_relaxed);
+  }
+
+  AtomicBitVector(const AtomicBitVector&) = delete;
+  AtomicBitVector& operator=(const AtomicBitVector&) = delete;
+
+  size_t size() const { return num_bits_; }
+
+  bool Get(size_t i) const {
+    return (words_[i >> 6].load(std::memory_order_acquire) >> (i & 63)) & 1u;
+  }
+
+  void Set(size_t i) {
+    words_[i >> 6].fetch_or(uint64_t{1} << (i & 63),
+                            std::memory_order_acq_rel);
+  }
+
+  void Clear(size_t i) {
+    words_[i >> 6].fetch_and(~(uint64_t{1} << (i & 63)),
+                             std::memory_order_acq_rel);
+  }
+
+  /// Sets bit i and returns its previous value.
+  bool TestAndSet(size_t i) {
+    uint64_t mask = uint64_t{1} << (i & 63);
+    uint64_t prev =
+        words_[i >> 6].fetch_or(mask, std::memory_order_acq_rel);
+    return (prev & mask) != 0;
+  }
+
+  /// Clears every bit. Not atomic with respect to concurrent setters; the
+  /// caller must guarantee quiescence (or use the double-buffered tracker).
+  void ClearAll() {
+    for (auto& w : words_) w.store(0, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_release);
+  }
+
+  /// Word-level access used by bulk scans (64 bits at a time).
+  uint64_t Word(size_t word_index) const {
+    return words_[word_index].load(std::memory_order_acquire);
+  }
+  /// Word-level store used by bulk operations (Zigzag's per-checkpoint
+  /// MW := ¬MR flip runs word-wise during its physical point of
+  /// consistency, when no mutator is active).
+  void SetWord(size_t word_index, uint64_t value) {
+    words_[word_index].store(value, std::memory_order_release);
+  }
+  size_t num_words() const { return words_.size(); }
+
+  /// Number of set bits (linear scan; used by stats and tests).
+  size_t Count() const {
+    size_t n = 0;
+    for (const auto& w : words_)
+      n += static_cast<size_t>(
+          __builtin_popcountll(w.load(std::memory_order_acquire)));
+    return n;
+  }
+
+ private:
+  size_t num_bits_;
+  std::vector<std::atomic<uint64_t>> words_;
+};
+
+/// CALC's `stable_status` vector (paper Figure 1).
+///
+/// Each record owns one bit whose *interpretation* alternates between
+/// checkpoint cycles: in one cycle the raw value 1 means "stable version
+/// available", in the next cycle 0 does. SwapSense() implements the paper's
+/// SwapAvailableAndNotAvailable(): after a capture phase every bit holds the
+/// raw value that currently means "available", so flipping the sense makes
+/// them all mean "not available" again without a O(n) clearing scan.
+class DualSenseBitVector {
+ public:
+  explicit DualSenseBitVector(size_t num_bits) : bits_(num_bits) {}
+
+  /// True if the record's stable version is marked available.
+  bool IsAvailable(size_t i) const {
+    return bits_.Get(i) ==
+           (available_raw_.load(std::memory_order_acquire) != 0);
+  }
+
+  /// Marks the record's stable version available.
+  void SetAvailable(size_t i) {
+    if (available_raw_.load(std::memory_order_acquire) != 0) {
+      bits_.Set(i);
+    } else {
+      bits_.Clear(i);
+    }
+  }
+
+  /// Marks the record's stable version not available (used by tests and by
+  /// insert handling; the main algorithm relies on SwapSense instead).
+  void SetNotAvailable(size_t i) {
+    if (available_raw_.load(std::memory_order_acquire) != 0) {
+      bits_.Clear(i);
+    } else {
+      bits_.Set(i);
+    }
+  }
+
+  /// Atomically marks available and returns whether it was available before.
+  bool TestAndSetAvailable(size_t i) {
+    if (available_raw_.load(std::memory_order_acquire) != 0) {
+      return bits_.TestAndSet(i);
+    }
+    // available == raw 0: "set available" means clearing the bit.
+    uint64_t prev_was_set = bits_.Get(i);
+    bits_.Clear(i);
+    return !prev_was_set;
+  }
+
+  /// The paper's SwapAvailableAndNotAvailable(): O(1).
+  void SwapSense() {
+    available_raw_.store(available_raw_.load(std::memory_order_acquire) ^ 1,
+                         std::memory_order_release);
+  }
+
+  size_t size() const { return bits_.size(); }
+
+  /// Current raw value meaning "available" (exposed for tests).
+  int available_raw() const {
+    return available_raw_.load(std::memory_order_acquire);
+  }
+
+ private:
+  AtomicBitVector bits_;
+  std::atomic<int> available_raw_{1};
+};
+
+}  // namespace calcdb
+
+#endif  // CALCDB_UTIL_BITVEC_H_

@@ -1,0 +1,79 @@
+#ifndef CALCDB_UTIL_BLOOM_H_
+#define CALCDB_UTIL_BLOOM_H_
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+namespace calcdb {
+
+/// A concurrent Bloom filter over 64-bit keys.
+///
+/// This is the third of the three dirty-key tracking structures the paper
+/// evaluates for pCALC (§2.3: hash table, bit vector, Bloom filter). The
+/// paper settles on the plain bit vector; we keep all three behind the
+/// DirtyKeyTracker interface so the ablation in bench/micro_components can
+/// reproduce that design decision.
+class BloomFilter {
+ public:
+  /// `bits` is rounded up to a multiple of 64; `k` probes per key.
+  explicit BloomFilter(size_t bits, int k = 4)
+      : k_(k), num_bits_(((bits + 63) / 64) * 64), words_(num_bits_ / 64) {
+    for (auto& w : words_) w.store(0, std::memory_order_relaxed);
+  }
+
+  BloomFilter(const BloomFilter&) = delete;
+  BloomFilter& operator=(const BloomFilter&) = delete;
+
+  void Add(uint64_t key) {
+    uint64_t h = Mix(key);
+    uint64_t delta = (h >> 33) | (h << 31);
+    for (int i = 0; i < k_; ++i) {
+      size_t bit = h % num_bits_;
+      words_[bit >> 6].fetch_or(uint64_t{1} << (bit & 63),
+                                std::memory_order_relaxed);
+      h += delta;
+    }
+  }
+
+  /// True if the key may have been added (false positives possible,
+  /// false negatives impossible).
+  bool MayContain(uint64_t key) const {
+    uint64_t h = Mix(key);
+    uint64_t delta = (h >> 33) | (h << 31);
+    for (int i = 0; i < k_; ++i) {
+      size_t bit = h % num_bits_;
+      if (((words_[bit >> 6].load(std::memory_order_relaxed) >>
+            (bit & 63)) &
+           1u) == 0) {
+        return false;
+      }
+      h += delta;
+    }
+    return true;
+  }
+
+  void ClearAll() {
+    for (auto& w : words_) w.store(0, std::memory_order_relaxed);
+  }
+
+  size_t num_bits() const { return num_bits_; }
+
+ private:
+  static uint64_t Mix(uint64_t x) {
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdULL;
+    x ^= x >> 33;
+    x *= 0xc4ceb9fe1a85ec53ULL;
+    x ^= x >> 33;
+    return x;
+  }
+
+  int k_;
+  size_t num_bits_;
+  std::vector<std::atomic<uint64_t>> words_;
+};
+
+}  // namespace calcdb
+
+#endif  // CALCDB_UTIL_BLOOM_H_

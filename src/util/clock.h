@@ -1,0 +1,46 @@
+#ifndef CALCDB_UTIL_CLOCK_H_
+#define CALCDB_UTIL_CLOCK_H_
+
+#include <chrono>
+#include <cstdint>
+#include <thread>
+
+namespace calcdb {
+
+/// Monotonic wall time in microseconds since an arbitrary epoch.
+inline int64_t NowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Monotonic wall time in nanoseconds since an arbitrary epoch.
+inline int64_t NowNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Sleeps the calling thread for `micros` microseconds.
+inline void SleepMicros(int64_t micros) {
+  std::this_thread::sleep_for(std::chrono::microseconds(micros));
+}
+
+/// A simple stopwatch for measuring elapsed durations.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(NowMicros()) {}
+
+  void Restart() { start_ = NowMicros(); }
+  int64_t ElapsedMicros() const { return NowMicros() - start_; }
+  double ElapsedSeconds() const {
+    return static_cast<double>(ElapsedMicros()) / 1e6;
+  }
+
+ private:
+  int64_t start_;
+};
+
+}  // namespace calcdb
+
+#endif  // CALCDB_UTIL_CLOCK_H_

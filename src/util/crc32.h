@@ -1,0 +1,17 @@
+#ifndef CALCDB_UTIL_CRC32_H_
+#define CALCDB_UTIL_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace calcdb {
+
+/// CRC-32 (ISO-HDLC polynomial, table-driven). Used to checksum checkpoint
+/// files so that recovery can detect torn or truncated checkpoints — a
+/// checkpoint interrupted by the crash it is meant to protect against must
+/// never be loaded.
+uint32_t Crc32(const void* data, size_t n, uint32_t seed = 0);
+
+}  // namespace calcdb
+
+#endif  // CALCDB_UTIL_CRC32_H_

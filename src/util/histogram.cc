@@ -1,0 +1,56 @@
+#include "util/histogram.h"
+
+#include <cstdio>
+
+namespace calcdb {
+
+int64_t Histogram::PercentileUs(double q) const {
+  uint64_t total = count();
+  if (total == 0) return 0;
+  if (q < 0) q = 0;
+  if (q > 1) q = 1;
+  uint64_t target = static_cast<uint64_t>(q * static_cast<double>(total));
+  if (target == 0) target = 1;
+  uint64_t seen = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    seen += buckets_[i].load(std::memory_order_relaxed);
+    if (seen >= target) return static_cast<int64_t>(BucketLowerBound(i));
+  }
+  return static_cast<int64_t>(BucketLowerBound(kNumBuckets - 1));
+}
+
+std::vector<double> Histogram::CdfAt(
+    const std::vector<int64_t>& latencies_us) const {
+  std::vector<double> out;
+  out.reserve(latencies_us.size());
+  uint64_t total = count();
+  if (total == 0) {
+    out.assign(latencies_us.size(), 0.0);
+    return out;
+  }
+  for (int64_t lat : latencies_us) {
+    uint64_t seen = 0;
+    for (int i = 0; i < kNumBuckets; ++i) {
+      if (BucketLowerBound(i) > static_cast<uint64_t>(lat)) break;
+      seen += buckets_[i].load(std::memory_order_relaxed);
+    }
+    out.push_back(static_cast<double>(seen) / static_cast<double>(total));
+  }
+  return out;
+}
+
+std::string Histogram::Summary() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "count=%llu mean=%.1fus p50=%lldus p90=%lldus p99=%lldus "
+                "p999=%lldus p100=%lldus",
+                static_cast<unsigned long long>(count()), MeanUs(),
+                static_cast<long long>(PercentileUs(0.50)),
+                static_cast<long long>(PercentileUs(0.90)),
+                static_cast<long long>(PercentileUs(0.99)),
+                static_cast<long long>(PercentileUs(0.999)),
+                static_cast<long long>(PercentileUs(1.0)));
+  return buf;
+}
+
+}  // namespace calcdb

@@ -1,0 +1,90 @@
+#ifndef CALCDB_UTIL_HISTOGRAM_H_
+#define CALCDB_UTIL_HISTOGRAM_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace calcdb {
+
+/// A lock-free latency histogram with logarithmic buckets.
+///
+/// Values are recorded in microseconds. Buckets cover [1us, ~17min] with
+/// ~4.6% relative resolution (16 sub-buckets per power of two), which is
+/// plenty for the paper's CDF plots (Figure 5) that span 1ms..100s on a log
+/// axis.
+class Histogram {
+ public:
+  Histogram() : buckets_(kNumBuckets) {
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  }
+
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void Record(int64_t value_us) {
+    if (value_us < 0) value_us = 0;
+    buckets_[BucketFor(static_cast<uint64_t>(value_us))].fetch_add(
+        1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(static_cast<uint64_t>(value_us),
+                   std::memory_order_relaxed);
+  }
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+
+  double MeanUs() const {
+    uint64_t c = count();
+    return c == 0 ? 0.0
+                  : static_cast<double>(
+                        sum_.load(std::memory_order_relaxed)) /
+                        static_cast<double>(c);
+  }
+
+  /// Latency (us) at the given quantile in [0,1].
+  int64_t PercentileUs(double q) const;
+
+  /// CDF sampled at the given latencies: fraction of recordings <= each.
+  std::vector<double> CdfAt(const std::vector<int64_t>& latencies_us) const;
+
+  /// Multi-line human-readable summary (p50/p90/p99/p999/max).
+  std::string Summary() const;
+
+  void Reset() {
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  // 64 powers of two x 16 sub-buckets.
+  static constexpr int kSubBucketBits = 4;
+  static constexpr int kNumBuckets = 64 << kSubBucketBits;
+
+  static int BucketFor(uint64_t v) {
+    if (v < (1u << kSubBucketBits)) return static_cast<int>(v);
+    int log2 = 63 - __builtin_clzll(v);
+    int sub = static_cast<int>((v >> (log2 - kSubBucketBits)) &
+                               ((1u << kSubBucketBits) - 1));
+    int idx = ((log2 - kSubBucketBits + 1) << kSubBucketBits) + sub;
+    return idx < kNumBuckets ? idx : kNumBuckets - 1;
+  }
+
+  /// Lower bound value represented by bucket `idx`.
+  static uint64_t BucketLowerBound(int idx) {
+    if (idx < (1 << kSubBucketBits)) return static_cast<uint64_t>(idx);
+    int log2 = (idx >> kSubBucketBits) + kSubBucketBits - 1;
+    int sub = idx & ((1 << kSubBucketBits) - 1);
+    return (uint64_t{1} << log2) |
+           (static_cast<uint64_t>(sub) << (log2 - kSubBucketBits));
+  }
+
+  std::vector<std::atomic<uint64_t>> buckets_;
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+};
+
+}  // namespace calcdb
+
+#endif  // CALCDB_UTIL_HISTOGRAM_H_

@@ -1,0 +1,124 @@
+#ifndef CALCDB_UTIL_LATCH_H_
+#define CALCDB_UTIL_LATCH_H_
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+namespace calcdb {
+
+/// A one-byte test-and-test-and-set spinlock.
+///
+/// Used for extremely short critical sections (per-record pointer
+/// installation, pool freelist pops). Spins with a relaxed read loop and
+/// yields to the scheduler after a bounded number of spins so that the
+/// algorithms remain live on machines with few cores.
+class SpinLatch {
+ public:
+  SpinLatch() = default;
+  SpinLatch(const SpinLatch&) = delete;
+  SpinLatch& operator=(const SpinLatch&) = delete;
+
+  void Lock() {
+    int spins = 0;
+    while (flag_.exchange(1, std::memory_order_acquire) != 0) {
+      while (flag_.load(std::memory_order_relaxed) != 0) {
+        if (++spins >= kSpinLimit) {
+          std::this_thread::yield();
+          spins = 0;
+        }
+      }
+    }
+  }
+
+  bool TryLock() {
+    return flag_.exchange(1, std::memory_order_acquire) == 0;
+  }
+
+  void Unlock() { flag_.store(0, std::memory_order_release); }
+
+ private:
+  static constexpr int kSpinLimit = 64;
+  std::atomic<uint8_t> flag_{0};
+};
+
+/// RAII guard for SpinLatch.
+class SpinLatchGuard {
+ public:
+  explicit SpinLatchGuard(SpinLatch& latch) : latch_(latch) { latch_.Lock(); }
+  ~SpinLatchGuard() { latch_.Unlock(); }
+
+  SpinLatchGuard(const SpinLatchGuard&) = delete;
+  SpinLatchGuard& operator=(const SpinLatchGuard&) = delete;
+
+ private:
+  SpinLatch& latch_;
+};
+
+/// A reader-writer spinlock supporting many concurrent readers or one
+/// writer.
+///
+/// Deliberately *not* writer-preferring: a waiter (reader or writer) only
+/// ever waits for current lock *holders*, never for another waiter. That
+/// property is what makes the lock manager's sorted-stripe acquisition
+/// deadlock-free: every transaction holds only stripes smaller than the
+/// one it is waiting on, so any wait-for cycle would require an infinite
+/// ascending chain of stripe indexes. A writer-intent bit would let a
+/// reader wait on a *waiting* writer and break that argument.
+class RWSpinLock {
+ public:
+  RWSpinLock() = default;
+  RWSpinLock(const RWSpinLock&) = delete;
+  RWSpinLock& operator=(const RWSpinLock&) = delete;
+
+  void LockShared() {
+    int spins = 0;
+    for (;;) {
+      uint32_t cur = state_.load(std::memory_order_relaxed);
+      if ((cur & kWriterBit) == 0) {
+        if (state_.compare_exchange_weak(cur, cur + kReaderUnit,
+                                         std::memory_order_acquire)) {
+          return;
+        }
+      }
+      if (++spins >= kSpinLimit) {
+        std::this_thread::yield();
+        spins = 0;
+      }
+    }
+  }
+
+  void UnlockShared() {
+    state_.fetch_sub(kReaderUnit, std::memory_order_release);
+  }
+
+  void Lock() {
+    int spins = 0;
+    for (;;) {
+      uint32_t cur = state_.load(std::memory_order_relaxed);
+      if (cur == 0) {
+        if (state_.compare_exchange_weak(cur, kWriterBit,
+                                         std::memory_order_acquire)) {
+          return;
+        }
+      }
+      if (++spins >= kSpinLimit) {
+        std::this_thread::yield();
+        spins = 0;
+      }
+    }
+  }
+
+  void Unlock() { state_.store(0, std::memory_order_release); }
+
+ private:
+  static constexpr uint32_t kWriterBit = 1u;
+  static constexpr uint32_t kReaderUnit = 2u;
+  static constexpr int kSpinLimit = 64;
+
+  std::atomic<uint32_t> state_{0};
+};
+
+}  // namespace calcdb
+
+#endif  // CALCDB_UTIL_LATCH_H_

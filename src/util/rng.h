@@ -1,0 +1,136 @@
+#ifndef CALCDB_UTIL_RNG_H_
+#define CALCDB_UTIL_RNG_H_
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace calcdb {
+
+/// xoshiro256** pseudo-random generator. Fast, decent quality, and cheap to
+/// seed deterministically per worker thread (determinism matters: the
+/// command-log replay tests re-execute workloads and must observe identical
+/// transaction inputs).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL) { Seed(seed); }
+
+  void Seed(uint64_t seed) {
+    // SplitMix64 expansion of the seed into the four lanes.
+    for (int i = 0; i < 4; ++i) {
+      seed += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = seed;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      s_[i] = z ^ (z >> 31);
+    }
+  }
+
+  uint64_t Next() {
+    uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, n).
+  uint64_t Uniform(uint64_t n) {
+    assert(n > 0);
+    return Next() % n;
+  }
+
+  /// Uniform in [lo, hi] inclusive.
+  uint64_t UniformRange(uint64_t lo, uint64_t hi) {
+    assert(hi >= lo);
+    return lo + Uniform(hi - lo + 1);
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// True with probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t s_[4];
+};
+
+/// Zipf-distributed key generator over [0, n). Used for skewed access
+/// patterns in workload ablations (the paper's locality experiments use a
+/// hot-set model, which HotSetChooser below implements; Zipf is provided for
+/// additional workload coverage).
+class ZipfGenerator {
+ public:
+  ZipfGenerator(uint64_t n, double theta) : n_(n), theta_(theta) {
+    assert(n > 0);
+    zetan_ = Zeta(n, theta);
+    zeta2_ = Zeta(2, theta);
+    alpha_ = 1.0 / (1.0 - theta);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) /
+           (1.0 - zeta2_ / zetan_);
+  }
+
+  uint64_t Next(Rng& rng) {
+    double u = rng.NextDouble();
+    double uz = u * zetan_;
+    if (uz < 1.0) return 0;
+    if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+    return static_cast<uint64_t>(
+        static_cast<double>(n_) *
+        std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  }
+
+ private:
+  static double Zeta(uint64_t n, double theta) {
+    double sum = 0;
+    for (uint64_t i = 1; i <= n; ++i)
+      sum += 1.0 / std::pow(static_cast<double>(i), theta);
+    return sum;
+  }
+
+  uint64_t n_;
+  double theta_;
+  double zetan_, zeta2_, alpha_, eta_;
+};
+
+/// Hot-set key chooser implementing the paper's write-locality model
+/// (§5.1.2): a fraction `hot_fraction` of the keyspace receives all update
+/// traffic, so that roughly that fraction of records is modified between
+/// consecutive checkpoints ("10% / 20% / 50% of records modified").
+class HotSetChooser {
+ public:
+  HotSetChooser(uint64_t n, double hot_fraction)
+      : n_(n),
+        hot_size_(static_cast<uint64_t>(
+            static_cast<double>(n) * hot_fraction)) {
+    if (hot_size_ == 0) hot_size_ = n;
+  }
+
+  /// A key to update: uniform over the hot set.
+  uint64_t NextWriteKey(Rng& rng) const { return rng.Uniform(hot_size_); }
+
+  /// A key to read: uniform over the whole keyspace.
+  uint64_t NextReadKey(Rng& rng) const { return rng.Uniform(n_); }
+
+  uint64_t hot_size() const { return hot_size_; }
+
+ private:
+  uint64_t n_;
+  uint64_t hot_size_;
+};
+
+}  // namespace calcdb
+
+#endif  // CALCDB_UTIL_RNG_H_

@@ -1,0 +1,138 @@
+#include "util/throttled_file.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <unistd.h>
+
+#include "util/clock.h"
+
+namespace calcdb {
+
+ThrottledFileWriter::~ThrottledFileWriter() { Close(); }
+
+Status ThrottledFileWriter::Open(const std::string& path,
+                                 uint64_t max_bytes_per_sec) {
+  if (file_ != nullptr) return Status::InvalidArgument("already open");
+  file_ = std::fopen(path.c_str(), "wb");
+  if (file_ == nullptr) {
+    return Status::IOError("open " + path + ": " + std::strerror(errno));
+  }
+  path_ = path;
+  max_bytes_per_sec_ = max_bytes_per_sec;
+  bytes_written_ = 0;
+  tokens_ = static_cast<double>(max_bytes_per_sec) / 100.0;  // ~10ms burst
+  last_refill_us_ = NowMicros();
+  return Status::OK();
+}
+
+void ThrottledFileWriter::ThrottleFor(size_t n) {
+  if (max_bytes_per_sec_ == 0) return;
+  const double rate = static_cast<double>(max_bytes_per_sec_);
+  const double burst = rate / 100.0;  // at most 10ms of stored credit
+  // Debt model: spend the bytes immediately (tokens may go negative up to
+  // one chunk), then sleep until the balance is repaid. This keeps large
+  // appends smooth without requiring the bucket to ever hold a full
+  // chunk's worth of credit.
+  int64_t now = NowMicros();
+  tokens_ += rate * static_cast<double>(now - last_refill_us_) / 1e6;
+  if (tokens_ > burst) tokens_ = burst;
+  last_refill_us_ = now;
+  tokens_ -= static_cast<double>(n);
+  while (tokens_ < 0) {
+    int64_t sleep_us = static_cast<int64_t>(-tokens_ / rate * 1e6) + 1;
+    if (sleep_us > 20000) sleep_us = 20000;
+    SleepMicros(sleep_us);
+    now = NowMicros();
+    tokens_ += rate * static_cast<double>(now - last_refill_us_) / 1e6;
+    last_refill_us_ = now;
+  }
+  if (tokens_ > burst) tokens_ = burst;
+}
+
+Status ThrottledFileWriter::Append(const void* data, size_t n) {
+  if (file_ == nullptr) return Status::InvalidArgument("not open");
+  // Throttle in chunks so that large appends do not overdraw the bucket in
+  // one go (keeps the emitted rate smooth at fine time scales).
+  const auto* p = static_cast<const uint8_t*>(data);
+  size_t remaining = n;
+  while (remaining > 0) {
+    size_t chunk = remaining < 65536 ? remaining : 65536;
+    ThrottleFor(chunk);
+    if (std::fwrite(p, 1, chunk, file_) != chunk) {
+      return Status::IOError("write " + path_ + ": " +
+                             std::strerror(errno));
+    }
+    p += chunk;
+    remaining -= chunk;
+    bytes_written_ += chunk;
+  }
+  return Status::OK();
+}
+
+Status ThrottledFileWriter::Flush() {
+  if (file_ == nullptr) return Status::InvalidArgument("not open");
+  if (std::fflush(file_) != 0) {
+    return Status::IOError("flush " + path_ + ": " + std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+Status ThrottledFileWriter::Close() {
+  if (file_ == nullptr) return Status::OK();
+  Status st = Flush();
+  if (st.ok()) {
+    if (::fsync(::fileno(file_)) != 0) {
+      st = Status::IOError("fsync " + path_ + ": " + std::strerror(errno));
+    }
+  }
+  std::fclose(file_);
+  file_ = nullptr;
+  return st;
+}
+
+SequentialFileReader::~SequentialFileReader() { Close(); }
+
+Status SequentialFileReader::Open(const std::string& path) {
+  if (file_ != nullptr) return Status::InvalidArgument("already open");
+  file_ = std::fopen(path.c_str(), "rb");
+  if (file_ == nullptr) {
+    return Status::IOError("open " + path + ": " + std::strerror(errno));
+  }
+  bytes_read_ = 0;
+  return Status::OK();
+}
+
+Status SequentialFileReader::ReadExact(void* out, size_t n) {
+  size_t got = 0;
+  CALCDB_RETURN_NOT_OK(Read(out, n, &got));
+  if (got != n) return Status::IOError("short read");
+  return Status::OK();
+}
+
+Status SequentialFileReader::Read(void* out, size_t n, size_t* read_n) {
+  if (file_ == nullptr) return Status::InvalidArgument("not open");
+  *read_n = std::fread(out, 1, n, file_);
+  bytes_read_ += *read_n;
+  if (*read_n < n && std::ferror(file_)) {
+    return Status::IOError(std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+bool SequentialFileReader::AtEof() {
+  if (file_ == nullptr) return true;
+  int c = std::fgetc(file_);
+  if (c == EOF) return true;
+  std::ungetc(c, file_);
+  return false;
+}
+
+Status SequentialFileReader::Close() {
+  if (file_ == nullptr) return Status::OK();
+  std::fclose(file_);
+  file_ = nullptr;
+  return Status::OK();
+}
+
+}  // namespace calcdb

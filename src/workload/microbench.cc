@@ -1,0 +1,225 @@
+#include "workload/microbench.h"
+
+#include <cstring>
+
+#include "txn/txn_context.h"
+#include "util/clock.h"
+
+namespace calcdb {
+
+namespace {
+
+void PutU32(std::string* out, uint32_t v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+void PutU64(std::string* out, uint64_t v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+uint32_t GetU32(const char* p) {
+  uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+uint64_t GetU64(const char* p) {
+  uint64_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+/// "Some simple computing operations": a few rounds of FNV-1a over the
+/// value, used both to burn representative CPU and to derive the new
+/// value deterministically from the old one.
+uint64_t MixValue(std::string* value) {
+  uint64_t h = 1469598103934665603ULL;
+  for (int round = 0; round < 4; ++round) {
+    for (char c : *value) {
+      h ^= static_cast<unsigned char>(c);
+      h *= 1099511628211ULL;
+    }
+  }
+  // Splice the digest into the head of the value; length is preserved.
+  size_t n = value->size() < 8 ? value->size() : 8;
+  std::memcpy(value->data(), &h, n);
+  return h;
+}
+
+}  // namespace
+
+std::string MicrobenchInitialValue(uint64_t key, size_t value_size) {
+  std::string value(value_size, '\0');
+  uint64_t x = key * 0x9e3779b97f4a7c15ULL + 0x42ULL;
+  for (size_t i = 0; i < value_size; ++i) {
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    value[i] = static_cast<char>((x * 0x2545f4914f6cdd1dULL) >> 56);
+  }
+  return value;
+}
+
+// --- RmwProcedure -----------------------------------------------------
+
+std::string RmwProcedure::MakeArgs(const uint64_t* keys, uint32_t n) {
+  std::string args;
+  args.reserve(4 + 8 * n);
+  PutU32(&args, n);
+  for (uint32_t i = 0; i < n; ++i) PutU64(&args, keys[i]);
+  return args;
+}
+
+void RmwProcedure::GetKeys(std::string_view args, KeySets* sets) const {
+  uint32_t n = GetU32(args.data());
+  sets->write_keys.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    sets->write_keys.push_back(GetU64(args.data() + 4 + 8 * i));
+  }
+}
+
+Status RmwProcedure::Run(TxnContext& ctx, std::string_view args) const {
+  uint32_t n = GetU32(args.data());
+  std::string value;
+  for (uint32_t i = 0; i < n; ++i) {
+    uint64_t key = GetU64(args.data() + 4 + 8 * i);
+    Status st = ctx.Read(key, &value);
+    if (st.IsNotFound()) {
+      value = MicrobenchInitialValue(key, value_size_);
+    } else if (!st.ok()) {
+      return st;
+    }
+    MixValue(&value);
+    CALCDB_RETURN_NOT_OK(ctx.Write(key, value));
+  }
+  return Status::OK();
+}
+
+// --- BatchWriteProcedure ------------------------------------------------
+
+std::string BatchWriteProcedure::MakeArgs(uint64_t start_key,
+                                          uint32_t count,
+                                          int64_t duration_us,
+                                          uint64_t salt) {
+  std::string args;
+  args.reserve(28);
+  PutU64(&args, start_key);
+  PutU32(&args, count);
+  PutU64(&args, static_cast<uint64_t>(duration_us));
+  PutU64(&args, salt);
+  return args;
+}
+
+void BatchWriteProcedure::GetKeys(std::string_view args,
+                                  KeySets* sets) const {
+  uint64_t start = GetU64(args.data());
+  uint32_t count = GetU32(args.data() + 8);
+  sets->write_keys.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    sets->write_keys.push_back(start + i);
+  }
+}
+
+Status BatchWriteProcedure::Run(TxnContext& ctx,
+                                std::string_view args) const {
+  uint64_t start = GetU64(args.data());
+  uint32_t count = GetU32(args.data() + 8);
+  int64_t duration_us = static_cast<int64_t>(GetU64(args.data() + 12));
+  uint64_t salt = GetU64(args.data() + 20);
+
+  Stopwatch sw;
+  std::string value;
+  for (uint32_t i = 0; i < count; ++i) {
+    uint64_t key = start + i;
+    Status st = ctx.Read(key, &value);
+    if (st.IsNotFound()) {
+      value = MicrobenchInitialValue(key, value_size_);
+    } else if (!st.ok()) {
+      return st;
+    }
+    // Make the new content depend on the salt so distinct batch writes
+    // produce distinct states (and replay reproduces them).
+    if (value.size() >= 8) {
+      uint64_t stamped = salt + i;
+      std::memcpy(value.data(), &stamped, 8);
+    }
+    MixValue(&value);
+    CALCDB_RETURN_NOT_OK(ctx.Write(key, value));
+    // Stretch the batch across the target duration, sleeping in small
+    // slices so the pacing does not monopolize a core. The sleep has no
+    // effect on state, so replay determinism is unaffected.
+    if (duration_us > 0 && (i & 15) == 15) {
+      int64_t target =
+          duration_us * static_cast<int64_t>(i + 1) /
+          static_cast<int64_t>(count);
+      int64_t ahead = target - sw.ElapsedMicros();
+      if (ahead > 500) SleepMicros(ahead > 20000 ? 20000 : ahead);
+    }
+  }
+  while (sw.ElapsedMicros() < duration_us) {
+    SleepMicros(1000);
+  }
+  return Status::OK();
+}
+
+// --- MicrobenchWorkload --------------------------------------------------
+
+uint64_t MicrobenchWorkload::NextKey(Rng& rng) {
+  if (config_.distribution ==
+      MicrobenchConfig::AccessDistribution::kZipf) {
+    uint64_t key = zipf_.Next(rng);
+    return key < config_.num_records ? key : config_.num_records - 1;
+  }
+  return chooser_.NextWriteKey(rng);
+}
+
+TxnRequest MicrobenchWorkload::Next(Rng& rng) {
+  TxnRequest req;
+  if (config_.long_txn_fraction > 0 &&
+      rng.Bernoulli(config_.long_txn_fraction)) {
+    uint32_t count = config_.long_txn_keys;
+    uint64_t span = chooser_.hot_size() > count
+                        ? chooser_.hot_size() - count
+                        : 1;
+    uint64_t start = rng.Uniform(span);
+    req.proc_id = kBatchWriteProcId;
+    req.args = BatchWriteProcedure::MakeArgs(
+        start, count, config_.long_txn_duration_us, rng.Next());
+    return req;
+  }
+  uint64_t keys[64];
+  int n = config_.ops_per_txn;
+  if (n > 64) n = 64;
+  for (int i = 0; i < n; ++i) {
+    // Update traffic goes to the hot set (or Zipf head); retry on (rare)
+    // duplicates so each transaction touches distinct records.
+    for (;;) {
+      uint64_t k = NextKey(rng);
+      bool dup = false;
+      for (int j = 0; j < i; ++j) {
+        if (keys[j] == k) {
+          dup = true;
+          break;
+        }
+      }
+      if (!dup) {
+        keys[i] = k;
+        break;
+      }
+    }
+  }
+  req.proc_id = kRmwProcId;
+  req.args = RmwProcedure::MakeArgs(keys, static_cast<uint32_t>(n));
+  return req;
+}
+
+Status SetupMicrobench(Database* db, const MicrobenchConfig& config) {
+  db->registry()->Register(
+      std::make_unique<RmwProcedure>(config.value_size));
+  db->registry()->Register(
+      std::make_unique<BatchWriteProcedure>(config.value_size));
+  for (uint64_t key = 0; key < config.num_records; ++key) {
+    CALCDB_RETURN_NOT_OK(
+        db->Load(key, MicrobenchInitialValue(key, config.value_size)));
+  }
+  return Status::OK();
+}
+
+}  // namespace calcdb

@@ -1,0 +1,120 @@
+#ifndef CALCDB_WORKLOAD_MICROBENCH_H_
+#define CALCDB_WORKLOAD_MICROBENCH_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "db/database.h"
+#include "txn/driver.h"
+#include "txn/procedure.h"
+#include "util/rng.h"
+
+namespace calcdb {
+
+/// The paper's microbenchmark (§5.1): a collection of fixed-size records;
+/// short transactions read and update 10 records and do some simple
+/// computation; an optional 0.001% of transactions are long-running batch
+/// writes taking about two seconds. Contention is kept low. Write
+/// locality ("10% / 20% / 50% of records modified since the last
+/// checkpoint") is modelled with a hot set that receives all update
+/// traffic.
+struct MicrobenchConfig {
+  uint64_t num_records = 1 << 20;  ///< paper: 20M (scaled by harness flags)
+  size_t value_size = 100;         ///< paper: 100-byte records, 8-byte keys
+  int ops_per_txn = 10;            ///< reads+updates per short transaction
+
+  /// Fraction of transactions that are long-running batch writes
+  /// (paper: 0.00001 — "0.001% of transactions").
+  double long_txn_fraction = 0.0;
+  uint32_t long_txn_keys = 1000;        ///< records a batch write touches
+  int64_t long_txn_duration_us = 2000000;  ///< paper: ~2 seconds
+
+  /// Fraction of the keyspace receiving updates (1.0 = uniform).
+  double hot_fraction = 1.0;
+
+  /// Key-access distribution. The paper's locality experiments use the
+  /// hot-set model (`kHotSetUniform` + hot_fraction); `kZipf` is provided
+  /// for additional workload coverage (YCSB-style skew).
+  enum class AccessDistribution { kHotSetUniform = 0, kZipf = 1 };
+  AccessDistribution distribution = AccessDistribution::kHotSetUniform;
+  double zipf_theta = 0.99;
+
+  uint64_t seed = 7;
+};
+
+/// Stored procedure ids used by the microbenchmark.
+constexpr uint32_t kRmwProcId = 1;
+constexpr uint32_t kBatchWriteProcId = 2;
+
+/// Read-modify-write of N records plus "some simple computing operations":
+/// each value is mixed through a few rounds of FNV-1a before being written
+/// back. Args: [u32 n][u64 key]*n.
+class RmwProcedure : public StoredProcedure {
+ public:
+  explicit RmwProcedure(size_t value_size) : value_size_(value_size) {}
+
+  uint32_t id() const override { return kRmwProcId; }
+  const char* name() const override { return "rmw"; }
+  void GetKeys(std::string_view args, KeySets* sets) const override;
+  Status Run(TxnContext& ctx, std::string_view args) const override;
+
+  /// Serializes arguments for an execution over the given keys.
+  static std::string MakeArgs(const uint64_t* keys, uint32_t n);
+
+ private:
+  size_t value_size_;
+};
+
+/// Long-running batch write: rewrites a contiguous key range while
+/// stretching its execution to a target duration (simulated computation),
+/// holding all its locks throughout — the transactions that force
+/// physical-point-of-consistency schemes to quiesce visibly (§5.1.1).
+/// Args: [u64 start_key][u32 count][u64 duration_us][u64 salt].
+class BatchWriteProcedure : public StoredProcedure {
+ public:
+  explicit BatchWriteProcedure(size_t value_size)
+      : value_size_(value_size) {}
+
+  uint32_t id() const override { return kBatchWriteProcId; }
+  const char* name() const override { return "batch_write"; }
+  void GetKeys(std::string_view args, KeySets* sets) const override;
+  Status Run(TxnContext& ctx, std::string_view args) const override;
+
+  static std::string MakeArgs(uint64_t start_key, uint32_t count,
+                              int64_t duration_us, uint64_t salt);
+
+ private:
+  size_t value_size_;
+};
+
+/// Generator producing the paper's transaction mix.
+class MicrobenchWorkload : public WorkloadGenerator {
+ public:
+  explicit MicrobenchWorkload(const MicrobenchConfig& config)
+      : config_(config),
+        chooser_(config.num_records, config.hot_fraction),
+        zipf_(config.num_records, config.zipf_theta) {}
+
+  TxnRequest Next(Rng& rng) override;
+
+  const MicrobenchConfig& config() const { return config_; }
+
+ private:
+  uint64_t NextKey(Rng& rng);
+
+  MicrobenchConfig config_;
+  HotSetChooser chooser_;
+  ZipfGenerator zipf_;
+};
+
+/// Registers the microbenchmark procedures with `db` and loads
+/// `config.num_records` records of deterministic initial content.
+Status SetupMicrobench(Database* db, const MicrobenchConfig& config);
+
+/// Deterministic initial value for a key (also used by validation tests).
+std::string MicrobenchInitialValue(uint64_t key, size_t value_size);
+
+}  // namespace calcdb
+
+#endif  // CALCDB_WORKLOAD_MICROBENCH_H_

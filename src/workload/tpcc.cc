@@ -1,0 +1,434 @@
+#include "workload/tpcc.h"
+
+#include <cstdio>
+
+#include "txn/txn_context.h"
+
+namespace calcdb {
+namespace tpcc {
+
+// --- argument serialization --------------------------------------------
+
+std::string NewOrderArgs::Serialize() const {
+  std::string out;
+  out.resize(5 * 4 + 8 + ol_cnt * 12);
+  char* p = out.data();
+  auto put32 = [&p](uint32_t v) {
+    std::memcpy(p, &v, 4);
+    p += 4;
+  };
+  auto put64 = [&p](uint64_t v) {
+    std::memcpy(p, &v, 8);
+    p += 8;
+  };
+  put32(w_id);
+  put32(d_id);
+  put32(c_id);
+  put32(ol_cnt);
+  put32(ring);
+  put64(entry_d);
+  for (uint32_t i = 0; i < ol_cnt; ++i) {
+    put32(lines[i].i_id);
+    put32(lines[i].supply_w_id);
+    put32(lines[i].quantity);
+  }
+  return out;
+}
+
+Status NewOrderArgs::Parse(std::string_view args, NewOrderArgs* out) {
+  if (args.size() < 28) return Status::Corruption("neworder args");
+  const char* p = args.data();
+  auto get32 = [&p]() {
+    uint32_t v;
+    std::memcpy(&v, p, 4);
+    p += 4;
+    return v;
+  };
+  auto get64 = [&p]() {
+    uint64_t v;
+    std::memcpy(&v, p, 8);
+    p += 8;
+    return v;
+  };
+  out->w_id = get32();
+  out->d_id = get32();
+  out->c_id = get32();
+  out->ol_cnt = get32();
+  out->ring = get32();
+  out->entry_d = get64();
+  if (out->ol_cnt > 15 || args.size() != 28 + out->ol_cnt * 12) {
+    return Status::Corruption("neworder args size");
+  }
+  for (uint32_t i = 0; i < out->ol_cnt; ++i) {
+    out->lines[i].i_id = get32();
+    out->lines[i].supply_w_id = get32();
+    out->lines[i].quantity = get32();
+  }
+  return Status::OK();
+}
+
+std::string PaymentArgs::Serialize() const {
+  std::string out;
+  out.resize(5 * 4 + 8 + 8);
+  char* p = out.data();
+  auto put32 = [&p](uint32_t v) {
+    std::memcpy(p, &v, 4);
+    p += 4;
+  };
+  put32(w_id);
+  put32(d_id);
+  put32(c_w_id);
+  put32(c_d_id);
+  put32(c_id);
+  std::memcpy(p, &amount, 8);
+  p += 8;
+  std::memcpy(p, &h_seq, 8);
+  return out;
+}
+
+Status PaymentArgs::Parse(std::string_view args, PaymentArgs* out) {
+  if (args.size() != 36) return Status::Corruption("payment args");
+  const char* p = args.data();
+  auto get32 = [&p]() {
+    uint32_t v;
+    std::memcpy(&v, p, 4);
+    p += 4;
+    return v;
+  };
+  out->w_id = get32();
+  out->d_id = get32();
+  out->c_w_id = get32();
+  out->c_d_id = get32();
+  out->c_id = get32();
+  std::memcpy(&out->amount, p, 8);
+  p += 8;
+  std::memcpy(&out->h_seq, p, 8);
+  return Status::OK();
+}
+
+// --- NewOrder --------------------------------------------------------
+
+void NewOrderProcedure::GetKeys(std::string_view args,
+                                KeySets* sets) const {
+  NewOrderArgs a;
+  if (!NewOrderArgs::Parse(args, &a).ok()) return;
+  sets->read_keys.push_back(WarehouseKey(a.w_id));
+  sets->read_keys.push_back(CustomerKey(a.w_id, a.d_id, a.c_id));
+  sets->write_keys.push_back(DistrictKey(a.w_id, a.d_id));
+  for (uint32_t i = 0; i < a.ol_cnt; ++i) {
+    sets->read_keys.push_back(ItemKey(a.lines[i].i_id));
+    sets->write_keys.push_back(
+        StockKey(a.lines[i].supply_w_id, a.lines[i].i_id));
+  }
+  // ORDER / NEW-ORDER / ORDER-LINE keys derive from d_next_o_id, read
+  // inside the transaction; they are covered by the district X-lock.
+  sets->allow_undeclared_writes = true;
+}
+
+Status NewOrderProcedure::Run(TxnContext& ctx,
+                              std::string_view args) const {
+  NewOrderArgs a;
+  CALCDB_RETURN_NOT_OK(NewOrderArgs::Parse(args, &a));
+
+  std::string buf;
+
+  // Validate all items first (TPC-C: ~1% of NewOrders abort on an unused
+  // item id; the abort must happen before any write).
+  ItemRow items[15];
+  for (uint32_t i = 0; i < a.ol_cnt; ++i) {
+    Status st = ctx.Read(ItemKey(a.lines[i].i_id), &buf);
+    if (st.IsNotFound()) {
+      return Status::Aborted("unused item number");
+    }
+    CALCDB_RETURN_NOT_OK(st);
+    CALCDB_RETURN_NOT_OK(ParseRow(buf, &items[i]));
+  }
+
+  CALCDB_RETURN_NOT_OK(ctx.Read(WarehouseKey(a.w_id), &buf));
+  WarehouseRow warehouse;
+  CALCDB_RETURN_NOT_OK(ParseRow(buf, &warehouse));
+
+  CALCDB_RETURN_NOT_OK(ctx.Read(DistrictKey(a.w_id, a.d_id), &buf));
+  DistrictRow district;
+  CALCDB_RETURN_NOT_OK(ParseRow(buf, &district));
+  uint32_t o_id = district.d_next_o_id;
+  district.d_next_o_id = o_id + 1;
+  // Ring-bounded mode: the logical o_id advances forever, but rows land
+  // at o_id mod ring (overwriting the oldest generation).
+  uint32_t row_o = a.ring != 0 ? 1 + (o_id - 1) % a.ring : o_id;
+  CALCDB_RETURN_NOT_OK(
+      ctx.Write(DistrictKey(a.w_id, a.d_id), RowBytes(district)));
+
+  CALCDB_RETURN_NOT_OK(
+      ctx.Read(CustomerKey(a.w_id, a.d_id, a.c_id), &buf));
+  CustomerRow customer;
+  CALCDB_RETURN_NOT_OK(ParseRow(buf, &customer));
+
+  uint32_t all_local = 1;
+  for (uint32_t i = 0; i < a.ol_cnt; ++i) {
+    const NewOrderArgs::Line& line = a.lines[i];
+    if (line.supply_w_id != a.w_id) all_local = 0;
+
+    CALCDB_RETURN_NOT_OK(
+        ctx.Read(StockKey(line.supply_w_id, line.i_id), &buf));
+    StockRow stock;
+    CALCDB_RETURN_NOT_OK(ParseRow(buf, &stock));
+    if (stock.s_quantity >= line.quantity + 10) {
+      stock.s_quantity -= line.quantity;
+    } else {
+      stock.s_quantity = stock.s_quantity + 91 - line.quantity;
+    }
+    stock.s_ytd += line.quantity;
+    stock.s_order_cnt += 1;
+    if (line.supply_w_id != a.w_id) stock.s_remote_cnt += 1;
+    CALCDB_RETURN_NOT_OK(
+        ctx.Write(StockKey(line.supply_w_id, line.i_id), RowBytes(stock)));
+
+    OrderLineRow ol{};
+    ol.ol_i_id = line.i_id;
+    ol.ol_supply_w_id = line.supply_w_id;
+    ol.ol_quantity = line.quantity;
+    ol.ol_amount = line.quantity * items[i].i_price *
+                   (1.0 + warehouse.w_tax + district.d_tax) *
+                   (1.0 - customer.c_discount);
+    std::memcpy(ol.ol_dist_info, stock.s_dist, sizeof(ol.ol_dist_info));
+    CALCDB_RETURN_NOT_OK(ctx.Write(
+        OrderLineKey(a.w_id, a.d_id, row_o, i), RowBytes(ol)));
+  }
+
+  OrderRow order{};
+  order.o_c_id = a.c_id;
+  order.o_ol_cnt = a.ol_cnt;
+  order.o_all_local = all_local;
+  order.o_entry_d = a.entry_d;
+  CALCDB_RETURN_NOT_OK(
+      ctx.Write(OrderKey(a.w_id, a.d_id, row_o), RowBytes(order)));
+
+  NewOrderRow no{};
+  no.no_flag = 1;
+  CALCDB_RETURN_NOT_OK(
+      ctx.Write(NewOrderKey(a.w_id, a.d_id, row_o), RowBytes(no)));
+  return Status::OK();
+}
+
+// --- Payment -----------------------------------------------------------
+
+void PaymentProcedure::GetKeys(std::string_view args,
+                               KeySets* sets) const {
+  PaymentArgs a;
+  if (!PaymentArgs::Parse(args, &a).ok()) return;
+  sets->write_keys.push_back(WarehouseKey(a.w_id));
+  sets->write_keys.push_back(DistrictKey(a.w_id, a.d_id));
+  sets->write_keys.push_back(CustomerKey(a.c_w_id, a.c_d_id, a.c_id));
+  sets->write_keys.push_back(HistoryKey(a.w_id, a.h_seq));
+}
+
+Status PaymentProcedure::Run(TxnContext& ctx,
+                             std::string_view args) const {
+  PaymentArgs a;
+  CALCDB_RETURN_NOT_OK(PaymentArgs::Parse(args, &a));
+
+  std::string buf;
+  CALCDB_RETURN_NOT_OK(ctx.Read(WarehouseKey(a.w_id), &buf));
+  WarehouseRow warehouse;
+  CALCDB_RETURN_NOT_OK(ParseRow(buf, &warehouse));
+  warehouse.w_ytd += a.amount;
+  CALCDB_RETURN_NOT_OK(
+      ctx.Write(WarehouseKey(a.w_id), RowBytes(warehouse)));
+
+  CALCDB_RETURN_NOT_OK(ctx.Read(DistrictKey(a.w_id, a.d_id), &buf));
+  DistrictRow district;
+  CALCDB_RETURN_NOT_OK(ParseRow(buf, &district));
+  district.d_ytd += a.amount;
+  CALCDB_RETURN_NOT_OK(
+      ctx.Write(DistrictKey(a.w_id, a.d_id), RowBytes(district)));
+
+  CALCDB_RETURN_NOT_OK(
+      ctx.Read(CustomerKey(a.c_w_id, a.c_d_id, a.c_id), &buf));
+  CustomerRow customer;
+  CALCDB_RETURN_NOT_OK(ParseRow(buf, &customer));
+  customer.c_balance -= a.amount;
+  customer.c_ytd_payment += a.amount;
+  customer.c_payment_cnt += 1;
+  CALCDB_RETURN_NOT_OK(ctx.Write(CustomerKey(a.c_w_id, a.c_d_id, a.c_id),
+                                 RowBytes(customer)));
+
+  HistoryRow history{};
+  history.h_c_id = a.c_id;
+  history.h_c_d_id = a.c_d_id;
+  history.h_c_w_id = a.c_w_id;
+  history.h_d_id = a.d_id;
+  history.h_w_id = a.w_id;
+  history.h_amount = a.amount;
+  CALCDB_RETURN_NOT_OK(
+      ctx.Write(HistoryKey(a.w_id, a.h_seq), RowBytes(history)));
+  return Status::OK();
+}
+
+// --- workload generator -------------------------------------------------
+
+TxnRequest TpccWorkload::Next(Rng& rng) {
+  TxnRequest req;
+  uint32_t w = static_cast<uint32_t>(
+      rng.UniformRange(1, config_.num_warehouses));
+  uint32_t d = static_cast<uint32_t>(
+      rng.UniformRange(1, config_.districts_per_warehouse));
+  if (rng.Bernoulli(0.5)) {
+    // NewOrder.
+    NewOrderArgs a{};
+    a.w_id = w;
+    a.d_id = d;
+    a.c_id = static_cast<uint32_t>(
+        rng.UniformRange(1, config_.customers_per_district));
+    a.ol_cnt = static_cast<uint32_t>(rng.UniformRange(5, 15));
+    a.ring = config_.order_ring_size;
+    a.entry_d = rng.Next();  // opaque timestamp token (deterministic)
+    bool rollback = rng.Bernoulli(0.01);
+    for (uint32_t i = 0; i < a.ol_cnt; ++i) {
+      a.lines[i].i_id = static_cast<uint32_t>(
+          rng.UniformRange(1, config_.num_items));
+      a.lines[i].supply_w_id =
+          (config_.num_warehouses > 1 && rng.Bernoulli(0.01))
+              ? static_cast<uint32_t>(
+                    rng.UniformRange(1, config_.num_warehouses))
+              : w;
+      a.lines[i].quantity = static_cast<uint32_t>(rng.UniformRange(1, 10));
+    }
+    if (rollback) {
+      a.lines[a.ol_cnt - 1].i_id = kInvalidItemId;  // forces the 1% abort
+    }
+    req.proc_id = kNewOrderProcId;
+    req.args = a.Serialize();
+  } else {
+    // Payment; 15% pay through a remote warehouse (spec §2.5.1.2).
+    PaymentArgs a{};
+    a.w_id = w;
+    a.d_id = d;
+    if (config_.num_warehouses > 1 && rng.Bernoulli(0.15)) {
+      do {
+        a.c_w_id = static_cast<uint32_t>(
+            rng.UniformRange(1, config_.num_warehouses));
+      } while (a.c_w_id == w);
+      a.c_d_id = static_cast<uint32_t>(
+          rng.UniformRange(1, config_.districts_per_warehouse));
+    } else {
+      a.c_w_id = w;
+      a.c_d_id = d;
+    }
+    a.c_id = static_cast<uint32_t>(
+        rng.UniformRange(1, config_.customers_per_district));
+    a.amount = 1.0 + static_cast<double>(rng.Uniform(500000)) / 100.0;
+    a.h_seq = config_.order_ring_size != 0
+                  ? rng.Uniform(config_.history_ring_size)
+                  : (rng.Next() & ((1ULL << 40) - 1));
+    req.proc_id = kPaymentProcId;
+    req.args = a.Serialize();
+  }
+  return req;
+}
+
+// --- loader -----------------------------------------------------------
+
+uint64_t InitialRecordCount(const TpccConfig& config) {
+  uint64_t warehouses = config.num_warehouses;
+  uint64_t districts = warehouses * config.districts_per_warehouse;
+  uint64_t customers = districts * config.customers_per_district;
+  uint64_t stock =
+      static_cast<uint64_t>(config.num_warehouses) * config.num_items;
+  // Each pre-loaded order: ORDER + NEW-ORDER + 10 ORDER-LINE rows.
+  uint64_t orders = districts * config.initial_orders_per_district * 12;
+  return warehouses + districts + customers + stock + config.num_items +
+         orders;
+}
+
+Status SetupTpcc(Database* db, const TpccConfig& config) {
+  db->registry()->Register(std::make_unique<NewOrderProcedure>());
+  db->registry()->Register(std::make_unique<PaymentProcedure>());
+
+  Rng rng(config.seed);
+
+  for (uint32_t i = 1; i <= config.num_items; ++i) {
+    ItemRow item{};
+    item.i_price = 1.0 + static_cast<double>(rng.Uniform(9900)) / 100.0;
+    std::snprintf(item.i_name, sizeof(item.i_name), "item-%u", i);
+    std::snprintf(item.i_data, sizeof(item.i_data), "data-%llu",
+                  static_cast<unsigned long long>(rng.Uniform(1u << 24)));
+    CALCDB_RETURN_NOT_OK(db->Load(ItemKey(i), RowBytes(item)));
+  }
+
+  for (uint32_t w = 1; w <= config.num_warehouses; ++w) {
+    WarehouseRow warehouse{};
+    warehouse.w_tax = static_cast<double>(rng.Uniform(2001)) / 10000.0;
+    warehouse.w_ytd = 300000.0;
+    std::snprintf(warehouse.w_name, sizeof(warehouse.w_name), "wh-%u", w);
+    CALCDB_RETURN_NOT_OK(db->Load(WarehouseKey(w), RowBytes(warehouse)));
+
+    for (uint32_t d = 1; d <= config.districts_per_warehouse; ++d) {
+      DistrictRow district{};
+      district.d_tax = static_cast<double>(rng.Uniform(2001)) / 10000.0;
+      district.d_ytd = 30000.0;
+      district.d_next_o_id = config.initial_orders_per_district + 1;
+      std::snprintf(district.d_name, sizeof(district.d_name), "d-%u-%u",
+                    w, d);
+      CALCDB_RETURN_NOT_OK(
+          db->Load(DistrictKey(w, d), RowBytes(district)));
+
+      for (uint32_t o = 1; o <= config.initial_orders_per_district; ++o) {
+        OrderRow order{};
+        order.o_c_id = static_cast<uint32_t>(
+            rng.UniformRange(1, config.customers_per_district));
+        order.o_ol_cnt = 10;
+        order.o_all_local = 1;
+        order.o_entry_d = rng.Next();
+        CALCDB_RETURN_NOT_OK(
+            db->Load(OrderKey(w, d, o), RowBytes(order)));
+        NewOrderRow no{};
+        no.no_flag = 1;
+        CALCDB_RETURN_NOT_OK(
+            db->Load(NewOrderKey(w, d, o), RowBytes(no)));
+        for (uint32_t ol = 0; ol < 10; ++ol) {
+          OrderLineRow line{};
+          line.ol_i_id = static_cast<uint32_t>(
+              rng.UniformRange(1, config.num_items));
+          line.ol_supply_w_id = w;
+          line.ol_quantity = static_cast<uint32_t>(
+              rng.UniformRange(1, 10));
+          line.ol_amount =
+              static_cast<double>(rng.Uniform(100000)) / 100.0;
+          CALCDB_RETURN_NOT_OK(
+              db->Load(OrderLineKey(w, d, o, ol), RowBytes(line)));
+        }
+      }
+
+      for (uint32_t c = 1; c <= config.customers_per_district; ++c) {
+        CustomerRow customer{};
+        customer.c_balance = -10.0;
+        customer.c_ytd_payment = 10.0;
+        customer.c_payment_cnt = 1;
+        customer.c_discount =
+            static_cast<double>(rng.Uniform(5001)) / 10000.0;
+        customer.c_credit[0] = rng.Bernoulli(0.1) ? 'B' : 'G';
+        customer.c_credit[1] = 'C';
+        std::snprintf(customer.c_last, sizeof(customer.c_last),
+                      "cust%u", c);
+        CALCDB_RETURN_NOT_OK(
+            db->Load(CustomerKey(w, d, c), RowBytes(customer)));
+      }
+    }
+
+    for (uint32_t i = 1; i <= config.num_items; ++i) {
+      StockRow stock{};
+      stock.s_quantity = static_cast<uint32_t>(rng.UniformRange(10, 100));
+      stock.s_ytd = 0;
+      stock.s_order_cnt = 0;
+      stock.s_remote_cnt = 0;
+      std::snprintf(stock.s_dist, sizeof(stock.s_dist), "dist-%u-%u", w,
+                    i % 10);
+      CALCDB_RETURN_NOT_OK(db->Load(StockKey(w, i), RowBytes(stock)));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace tpcc
+}  // namespace calcdb

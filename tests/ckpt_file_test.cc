@@ -1,0 +1,360 @@
+// Tests for the checkpoint file format, the checkpoint storage/manifest,
+// the dirty-key trackers, and the partial-checkpoint merger.
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "checkpoint/ckpt_file.h"
+#include "checkpoint/ckpt_storage.h"
+#include "checkpoint/dirty_tracker.h"
+#include "checkpoint/merger.h"
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+
+namespace calcdb {
+namespace {
+
+using testing_util::TempDir;
+
+TEST(CheckpointFileTest, WriteReadRoundtrip) {
+  TempDir dir;
+  std::string path = dir.path() + "/ckpt";
+  CheckpointFileWriter writer;
+  ASSERT_TRUE(
+      writer.Open(path, CheckpointType::kFull, 3, 77, 0).ok());
+  ASSERT_TRUE(writer.Append(1, "one").ok());
+  ASSERT_TRUE(writer.Append(2, std::string(1000, 'x')).ok());
+  ASSERT_TRUE(writer.Finish().ok());
+  EXPECT_EQ(writer.entries_written(), 2u);
+
+  CheckpointFileReader reader;
+  ASSERT_TRUE(reader.Open(path).ok());
+  EXPECT_EQ(reader.type(), CheckpointType::kFull);
+  EXPECT_EQ(reader.id(), 3u);
+  EXPECT_EQ(reader.vpoc_lsn(), 77u);
+  CheckpointEntry entry;
+  bool eof = false;
+  ASSERT_TRUE(reader.Next(&entry, &eof).ok());
+  ASSERT_FALSE(eof);
+  EXPECT_EQ(entry.key, 1u);
+  EXPECT_EQ(entry.value, "one");
+  ASSERT_TRUE(reader.Next(&entry, &eof).ok());
+  EXPECT_EQ(entry.value.size(), 1000u);
+  ASSERT_TRUE(reader.Next(&entry, &eof).ok());
+  EXPECT_TRUE(eof);
+}
+
+TEST(CheckpointFileTest, Tombstones) {
+  TempDir dir;
+  std::string path = dir.path() + "/ckpt";
+  CheckpointFileWriter writer;
+  ASSERT_TRUE(
+      writer.Open(path, CheckpointType::kPartial, 1, 0, 0).ok());
+  ASSERT_TRUE(writer.Append(5, "alive").ok());
+  ASSERT_TRUE(writer.AppendTombstone(6).ok());
+  ASSERT_TRUE(writer.Finish().ok());
+
+  CheckpointFileReader reader;
+  ASSERT_TRUE(reader.Open(path).ok());
+  int values = 0, tombstones = 0;
+  ASSERT_TRUE(reader
+                  .ReadAll([&](const CheckpointEntry& e) -> Status {
+                    if (e.tombstone) {
+                      ++tombstones;
+                      EXPECT_EQ(e.key, 6u);
+                    } else {
+                      ++values;
+                    }
+                    return Status::OK();
+                  })
+                  .ok());
+  EXPECT_EQ(values, 1);
+  EXPECT_EQ(tombstones, 1);
+}
+
+TEST(CheckpointFileTest, TruncatedFileRejected) {
+  TempDir dir;
+  std::string path = dir.path() + "/ckpt";
+  CheckpointFileWriter writer;
+  ASSERT_TRUE(writer.Open(path, CheckpointType::kFull, 1, 0, 0).ok());
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(writer.Append(static_cast<uint64_t>(i), "vvvv").ok());
+  }
+  ASSERT_TRUE(writer.Finish().ok());
+  // Truncate: simulate a crash mid-checkpoint.
+  ASSERT_EQ(truncate(path.c_str(), 200), 0);
+  CheckpointFileReader reader;
+  ASSERT_TRUE(reader.Open(path).ok());
+  Status st = reader.ReadAll(
+      [](const CheckpointEntry&) -> Status { return Status::OK(); });
+  EXPECT_FALSE(st.ok());
+}
+
+TEST(CheckpointFileTest, CorruptedPayloadRejected) {
+  TempDir dir;
+  std::string path = dir.path() + "/ckpt";
+  CheckpointFileWriter writer;
+  ASSERT_TRUE(writer.Open(path, CheckpointType::kFull, 1, 0, 0).ok());
+  ASSERT_TRUE(writer.Append(1, "payload-payload").ok());
+  ASSERT_TRUE(writer.Finish().ok());
+  FILE* f = fopen(path.c_str(), "r+b");
+  ASSERT_NE(f, nullptr);
+  fseek(f, 45, SEEK_SET);  // inside the entry payload
+  int c = fgetc(f);
+  fseek(f, 45, SEEK_SET);
+  fputc(c ^ 0x5a, f);
+  fclose(f);
+  CheckpointFileReader reader;
+  ASSERT_TRUE(reader.Open(path).ok());
+  Status st = reader.ReadAll(
+      [](const CheckpointEntry&) -> Status { return Status::OK(); });
+  EXPECT_TRUE(st.IsCorruption());
+}
+
+TEST(CheckpointFileTest, BadMagicRejected) {
+  TempDir dir;
+  std::string path = dir.path() + "/notackpt";
+  FILE* f = fopen(path.c_str(), "wb");
+  fputs("garbage garbage garbage garbage", f);
+  fclose(f);
+  CheckpointFileReader reader;
+  EXPECT_TRUE(reader.Open(path).IsCorruption());
+}
+
+TEST(CheckpointStorageTest, RegisterListAndChain) {
+  TempDir dir;
+  CheckpointStorage storage(dir.path(), 0);
+  ASSERT_TRUE(storage.Init().ok());
+  EXPECT_EQ(storage.NextId(), 1u);
+  EXPECT_EQ(storage.NextId(), 2u);
+
+  auto reg = [&](uint64_t id, CheckpointType type) {
+    CheckpointInfo info;
+    info.id = id;
+    info.type = type;
+    info.vpoc_lsn = id * 10;
+    info.path = storage.PathFor(id, type);
+    storage.Register(info);
+  };
+  reg(1, CheckpointType::kFull);
+  reg(2, CheckpointType::kPartial);
+  reg(3, CheckpointType::kPartial);
+  reg(4, CheckpointType::kFull);
+  reg(5, CheckpointType::kPartial);
+
+  std::vector<CheckpointInfo> chain = storage.RecoveryChain();
+  ASSERT_EQ(chain.size(), 2u);
+  EXPECT_EQ(chain[0].id, 4u);
+  EXPECT_EQ(chain[1].id, 5u);
+}
+
+TEST(CheckpointStorageTest, ChainWithoutFullReturnsAllPartials) {
+  TempDir dir;
+  CheckpointStorage storage(dir.path(), 0);
+  ASSERT_TRUE(storage.Init().ok());
+  CheckpointInfo info;
+  info.id = 1;
+  info.type = CheckpointType::kPartial;
+  info.path = storage.PathFor(1, info.type);
+  storage.Register(info);
+  info.id = 2;
+  storage.Register(info);
+  EXPECT_EQ(storage.RecoveryChain().size(), 2u);
+}
+
+TEST(CheckpointStorageTest, ManifestPersistsAcrossInstances) {
+  TempDir dir;
+  {
+    CheckpointStorage storage(dir.path(), 0);
+    ASSERT_TRUE(storage.Init().ok());
+    CheckpointInfo info;
+    info.id = 9;
+    info.type = CheckpointType::kFull;
+    info.vpoc_lsn = 1234;
+    info.num_entries = 42;
+    info.path = storage.PathFor(9, info.type);
+    storage.Register(info);
+    ASSERT_TRUE(storage.PersistManifest().ok());
+  }
+  CheckpointStorage reloaded(dir.path(), 0);
+  ASSERT_TRUE(reloaded.Init().ok());
+  ASSERT_TRUE(reloaded.LoadManifest().ok());
+  std::vector<CheckpointInfo> list = reloaded.List();
+  ASSERT_EQ(list.size(), 1u);
+  EXPECT_EQ(list[0].id, 9u);
+  EXPECT_EQ(list[0].vpoc_lsn, 1234u);
+  EXPECT_EQ(list[0].num_entries, 42u);
+  // Ids continue after the reloaded maximum.
+  EXPECT_EQ(reloaded.NextId(), 10u);
+}
+
+TEST(DirtyTrackerTest, MarkTestClearAllKinds) {
+  for (DirtyTrackerKind kind :
+       {DirtyTrackerKind::kBitVector, DirtyTrackerKind::kHashSet,
+        DirtyTrackerKind::kBloom}) {
+    DirtyKeyTracker tracker(kind, 10000);
+    tracker.Mark(17);
+    tracker.Mark(9000);
+    EXPECT_TRUE(tracker.Test(17));
+    EXPECT_TRUE(tracker.Test(9000));
+    if (kind != DirtyTrackerKind::kBloom) {
+      EXPECT_FALSE(tracker.Test(18));
+      EXPECT_EQ(tracker.Count(), 2u);
+    }
+    tracker.Clear();
+    EXPECT_FALSE(tracker.Test(17));
+  }
+}
+
+TEST(DirtyTrackerTest, ForEachAscendingAndComplete) {
+  for (DirtyTrackerKind kind :
+       {DirtyTrackerKind::kBitVector, DirtyTrackerKind::kHashSet}) {
+    DirtyKeyTracker tracker(kind, 1000);
+    std::set<uint32_t> expect = {3, 70, 500, 999};
+    for (uint32_t idx : expect) tracker.Mark(idx);
+    std::vector<uint32_t> seen;
+    tracker.ForEach(1000, [&](uint32_t idx) { seen.push_back(idx); });
+    ASSERT_EQ(seen.size(), expect.size());
+    EXPECT_TRUE(std::is_sorted(seen.begin(), seen.end()));
+    for (uint32_t idx : seen) EXPECT_TRUE(expect.count(idx));
+  }
+}
+
+TEST(DirtyTrackerTest, ForEachHonorsLimit) {
+  DirtyKeyTracker tracker(DirtyTrackerKind::kBitVector, 1000);
+  tracker.Mark(5);
+  tracker.Mark(900);
+  int count = 0;
+  tracker.ForEach(100, [&](uint32_t idx) {
+    EXPECT_LT(idx, 100u);
+    ++count;
+  });
+  EXPECT_EQ(count, 1);
+}
+
+TEST(DirtyTrackerTest, BloomSupersetSemantics) {
+  DirtyKeyTracker tracker(DirtyTrackerKind::kBloom, 100000);
+  std::set<uint32_t> marked;
+  for (uint32_t i = 0; i < 500; ++i) {
+    marked.insert(i * 97);
+    tracker.Mark(i * 97);
+  }
+  // ForEach must visit a superset of the marked indexes.
+  std::set<uint32_t> seen;
+  tracker.ForEach(100000, [&](uint32_t idx) { seen.insert(idx); });
+  for (uint32_t idx : marked) EXPECT_TRUE(seen.count(idx));
+}
+
+TEST(DirtyTrackerTest, MemoryBytesRanking) {
+  // The paper's §2.3 sizing argument: the Bloom filter is smaller than
+  // the bit vector, which is ~0.25% of a 50-byte-record database.
+  DirtyKeyTracker bits(DirtyTrackerKind::kBitVector, 1 << 20);
+  DirtyKeyTracker bloom(DirtyTrackerKind::kBloom, 1 << 20);
+  EXPECT_EQ(bits.MemoryBytes(), (1u << 20) / 8);
+  EXPECT_LT(bloom.MemoryBytes(), bits.MemoryBytes());
+}
+
+TEST(MergerTest, CollapseMergesLatestWins) {
+  TempDir dir;
+  CheckpointStorage storage(dir.path(), 0);
+  ASSERT_TRUE(storage.Init().ok());
+
+  auto write_ckpt = [&](uint64_t id, CheckpointType type,
+                        std::vector<CheckpointEntry> entries,
+                        uint64_t vpoc) {
+    CheckpointInfo info;
+    info.id = id;
+    info.type = type;
+    info.vpoc_lsn = vpoc;
+    info.path = storage.PathFor(id, type);
+    CheckpointFileWriter writer;
+    ASSERT_TRUE(
+        writer.Open(info.path, type, id, vpoc, 0).ok());
+    for (const CheckpointEntry& e : entries) {
+      if (e.tombstone) {
+        ASSERT_TRUE(writer.AppendTombstone(e.key).ok());
+      } else {
+        ASSERT_TRUE(writer.Append(e.key, e.value).ok());
+      }
+    }
+    ASSERT_TRUE(writer.Finish().ok());
+    info.num_entries = writer.entries_written();
+    storage.Register(info);
+  };
+
+  write_ckpt(1, CheckpointType::kFull,
+             {{1, false, "a1"}, {2, false, "b1"}, {3, false, "c1"}}, 10);
+  write_ckpt(2, CheckpointType::kPartial,
+             {{2, false, "b2"}, {4, false, "d2"}}, 20);
+  write_ckpt(3, CheckpointType::kPartial,
+             {{3, true, ""}, {4, false, "d3"}}, 30);
+
+  CheckpointMerger merger(&storage);
+  bool did_merge = false;
+  ASSERT_TRUE(merger.CollapseOnce(10, &did_merge).ok());
+  EXPECT_TRUE(did_merge);
+  EXPECT_EQ(merger.merges_done(), 1u);
+
+  std::vector<CheckpointInfo> chain = storage.RecoveryChain();
+  ASSERT_EQ(chain.size(), 1u);
+  EXPECT_EQ(chain[0].type, CheckpointType::kFull);
+  EXPECT_EQ(chain[0].id, 3u);        // adopts the last input's id
+  EXPECT_EQ(chain[0].vpoc_lsn, 30u);  // and its point of consistency
+
+  testing_util::StateMap merged;
+  ASSERT_TRUE(testing_util::ChainToMap(chain, &merged).ok());
+  ASSERT_EQ(merged.size(), 3u);
+  EXPECT_EQ(merged[1], "a1");
+  EXPECT_EQ(merged[2], "b2");
+  EXPECT_EQ(merged[4], "d3");
+  EXPECT_EQ(merged.count(3), 0u);  // tombstoned
+}
+
+TEST(MergerTest, CollapseRespectsBatchLimit) {
+  TempDir dir;
+  CheckpointStorage storage(dir.path(), 0);
+  ASSERT_TRUE(storage.Init().ok());
+  auto write_simple = [&](uint64_t id, CheckpointType type) {
+    CheckpointInfo info;
+    info.id = id;
+    info.type = type;
+    info.vpoc_lsn = id;
+    info.path = storage.PathFor(id, type);
+    CheckpointFileWriter writer;
+    ASSERT_TRUE(writer.Open(info.path, type, id, id, 0).ok());
+    ASSERT_TRUE(writer.Append(id, "v" + std::to_string(id)).ok());
+    ASSERT_TRUE(writer.Finish().ok());
+    info.num_entries = 1;
+    storage.Register(info);
+  };
+  write_simple(1, CheckpointType::kFull);
+  for (uint64_t id = 2; id <= 6; ++id) {
+    write_simple(id, CheckpointType::kPartial);
+  }
+  CheckpointMerger merger(&storage);
+  bool did_merge = false;
+  ASSERT_TRUE(merger.CollapseOnce(2, &did_merge).ok());
+  EXPECT_TRUE(did_merge);
+  // 1+2+3 collapsed into full@3; partials 4,5,6 remain.
+  std::vector<CheckpointInfo> chain = storage.RecoveryChain();
+  ASSERT_EQ(chain.size(), 4u);
+  EXPECT_EQ(chain[0].id, 3u);
+  EXPECT_EQ(chain[0].type, CheckpointType::kFull);
+  testing_util::StateMap merged;
+  ASSERT_TRUE(testing_util::ChainToMap(chain, &merged).ok());
+  EXPECT_EQ(merged.size(), 6u);
+}
+
+TEST(MergerTest, NothingToMerge) {
+  TempDir dir;
+  CheckpointStorage storage(dir.path(), 0);
+  ASSERT_TRUE(storage.Init().ok());
+  CheckpointMerger merger(&storage);
+  bool did_merge = true;
+  ASSERT_TRUE(merger.CollapseOnce(4, &did_merge).ok());
+  EXPECT_FALSE(did_merge);
+}
+
+}  // namespace
+}  // namespace calcdb

@@ -1,0 +1,131 @@
+// Full-stack soak: every moving part of the system running at once —
+// closed-loop workload, periodic pCALC partial checkpoints, background
+// partial-checkpoint merging, streamed command log — then a simulated
+// crash and a full recovery, verified byte-for-byte.
+
+#include <memory>
+
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+#include "workload/microbench.h"
+
+namespace calcdb {
+namespace {
+
+using testing_util::DbToMap;
+using testing_util::StateMap;
+using testing_util::TempDir;
+
+TEST(IntegrationSoakTest, EverythingAtOnceThenRecover) {
+  TempDir dir;
+  MicrobenchConfig workload_config;
+  workload_config.num_records = 5000;
+  workload_config.value_size = 80;
+  workload_config.ops_per_txn = 6;
+  workload_config.hot_fraction = 0.3;
+
+  Options options;
+  options.max_records = workload_config.num_records + 64;
+  options.algorithm = CheckpointAlgorithm::kPCalc;
+  options.checkpoint_dir = dir.path() + "/ckpt";
+  options.disk_bytes_per_sec = 0;
+  options.background_merge = true;
+  options.merge_batch = 3;
+  options.command_log_path = dir.path() + "/commandlog";
+  options.command_log_flush_ms = 2;
+
+  StateMap pre_crash;
+  uint64_t committed = 0;
+  {
+    std::unique_ptr<Database> db;
+    ASSERT_TRUE(Database::Open(options, &db).ok());
+    ASSERT_TRUE(SetupMicrobench(db.get(), workload_config).ok());
+    ASSERT_TRUE(db->WriteBaseCheckpoint().ok());
+    ASSERT_TRUE(db->Start().ok());
+    ASSERT_TRUE(db->StartPeriodicCheckpoints(120).ok());
+
+    MicrobenchWorkload workload(workload_config);
+    RunMetrics metrics(30);
+    ClosedLoopDriver driver(db->executor(), &workload, &metrics, 3);
+    driver.Start();
+    SleepMicros(2000000);  // ~16 checkpoints, several merges
+    driver.Stop();
+    db->StopPeriodicCheckpoints();
+
+    EXPECT_GE(db->periodic_checkpoints_done(), 8u);
+    ASSERT_NE(db->merger(), nullptr);
+    EXPECT_GE(db->merger()->merges_done(), 1u);
+    committed = db->executor()->committed();
+    EXPECT_GT(committed, 1000u);
+    pre_crash = DbToMap(db.get());
+    // Graceful streamer flush; a crash between flushes would lose at most
+    // command_log_flush_ms worth of commits (documented semantics).
+    ASSERT_TRUE(db->Shutdown().ok());
+  }  // crash
+
+  std::unique_ptr<Database> recovered;
+  ASSERT_TRUE(Database::Open(options, &recovered).ok());
+  recovered->registry()->Register(
+      std::make_unique<RmwProcedure>(workload_config.value_size));
+  recovered->registry()->Register(
+      std::make_unique<BatchWriteProcedure>(workload_config.value_size));
+  CommitLog replay_log;
+  ASSERT_TRUE(replay_log.LoadFrom(options.command_log_path).ok());
+  // The streamed log holds every commit token plus the phase tokens.
+  EXPECT_GE(replay_log.Size(), committed);
+  RecoveryStats stats;
+  ASSERT_TRUE(recovered->Recover(&replay_log, &stats).ok());
+  EXPECT_GE(stats.checkpoints_loaded, 1u);
+  ASSERT_TRUE(recovered->Start().ok());
+  EXPECT_EQ(DbToMap(recovered.get()), pre_crash);
+}
+
+TEST(IntegrationSoakTest, CalcFullPeriodicWithStreamer) {
+  TempDir dir;
+  MicrobenchConfig workload_config;
+  workload_config.num_records = 2000;
+  workload_config.value_size = 64;
+  workload_config.ops_per_txn = 4;
+
+  Options options;
+  options.max_records = workload_config.num_records + 64;
+  options.algorithm = CheckpointAlgorithm::kCalc;
+  options.checkpoint_dir = dir.path() + "/ckpt";
+  options.disk_bytes_per_sec = 0;
+  options.command_log_path = dir.path() + "/commandlog";
+
+  StateMap pre_crash;
+  {
+    std::unique_ptr<Database> db;
+    ASSERT_TRUE(Database::Open(options, &db).ok());
+    ASSERT_TRUE(SetupMicrobench(db.get(), workload_config).ok());
+    ASSERT_TRUE(db->Start().ok());
+    ASSERT_TRUE(db->StartPeriodicCheckpoints(80).ok());
+    MicrobenchWorkload workload(workload_config);
+    RunMetrics metrics(30);
+    ClosedLoopDriver driver(db->executor(), &workload, &metrics, 2);
+    driver.Start();
+    SleepMicros(800000);
+    driver.Stop();
+    db->StopPeriodicCheckpoints();
+    EXPECT_GE(db->periodic_checkpoints_done(), 4u);
+    pre_crash = DbToMap(db.get());
+    ASSERT_TRUE(db->Shutdown().ok());
+  }
+
+  std::unique_ptr<Database> recovered;
+  ASSERT_TRUE(Database::Open(options, &recovered).ok());
+  recovered->registry()->Register(
+      std::make_unique<RmwProcedure>(workload_config.value_size));
+  recovered->registry()->Register(
+      std::make_unique<BatchWriteProcedure>(workload_config.value_size));
+  CommitLog replay_log;
+  ASSERT_TRUE(replay_log.LoadFrom(options.command_log_path).ok());
+  RecoveryStats stats;
+  ASSERT_TRUE(recovered->Recover(&replay_log, &stats).ok());
+  ASSERT_TRUE(recovered->Start().ok());
+  EXPECT_EQ(DbToMap(recovered.get()), pre_crash);
+}
+
+}  // namespace
+}  // namespace calcdb

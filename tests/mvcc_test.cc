@@ -1,0 +1,270 @@
+// Tests for the MVCC full-multi-versioning checkpointer (paper §2.1's
+// alternative design point): checkpoint consistency under concurrency,
+// version accumulation vs eager GC, recovery, and the memory contrast
+// with CALC that motivates the paper.
+
+#include <atomic>
+#include <memory>
+#include <thread>
+
+#include "checkpoint/mvcc.h"
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+#include "txn/txn_context.h"
+#include "util/clock.h"
+#include "util/rng.h"
+
+namespace calcdb {
+namespace {
+
+using testing_util::ChainToMap;
+using testing_util::DbToMap;
+using testing_util::StateMap;
+using testing_util::TempDir;
+
+constexpr uint32_t kPutProcId = 600;
+constexpr uint32_t kDelProcId = 601;
+
+class PutProcedure : public StoredProcedure {
+ public:
+  uint32_t id() const override { return kPutProcId; }
+  const char* name() const override { return "put"; }
+  void GetKeys(std::string_view args, KeySets* sets) const override {
+    uint64_t key;
+    memcpy(&key, args.data(), 8);
+    sets->write_keys.push_back(key);
+  }
+  Status Run(TxnContext& ctx, std::string_view args) const override {
+    uint64_t key;
+    memcpy(&key, args.data(), 8);
+    return ctx.Write(key, args.substr(8));
+  }
+};
+
+class DelProcedure : public StoredProcedure {
+ public:
+  uint32_t id() const override { return kDelProcId; }
+  const char* name() const override { return "del"; }
+  void GetKeys(std::string_view args, KeySets* sets) const override {
+    uint64_t key;
+    memcpy(&key, args.data(), 8);
+    sets->write_keys.push_back(key);
+  }
+  Status Run(TxnContext& ctx, std::string_view args) const override {
+    uint64_t key;
+    memcpy(&key, args.data(), 8);
+    if (!ctx.Exists(key)) return ctx.Write(key, "revived");
+    return ctx.Delete(key);
+  }
+};
+
+std::string KeyArgs(uint64_t key, std::string_view payload = "") {
+  std::string args(reinterpret_cast<const char*>(&key), 8);
+  args.append(payload);
+  return args;
+}
+
+std::unique_ptr<Database> MakeMvccDb(const std::string& dir,
+                                     uint64_t initial_keys,
+                                     bool eager_gc) {
+  Options options;
+  options.max_records = 4096;
+  options.algorithm = CheckpointAlgorithm::kMvcc;
+  options.mvcc_eager_gc = eager_gc;
+  options.checkpoint_dir = dir;
+  options.disk_bytes_per_sec = 0;
+  std::unique_ptr<Database> db;
+  EXPECT_TRUE(Database::Open(options, &db).ok());
+  db->registry()->Register(std::make_unique<PutProcedure>());
+  db->registry()->Register(std::make_unique<DelProcedure>());
+  for (uint64_t k = 0; k < initial_keys; ++k) {
+    EXPECT_TRUE(db->Load(k, "init" + std::to_string(k)).ok());
+  }
+  EXPECT_TRUE(db->Start().ok());
+  return db;
+}
+
+TEST(MvccTest, BasicCheckpointMatchesState) {
+  TempDir dir;
+  auto db = MakeMvccDb(dir.path(), 50, false);
+  for (uint64_t k = 0; k < 20; ++k) {
+    ASSERT_TRUE(
+        db->executor()->Execute(kPutProcId, KeyArgs(k, "v1"), 0).ok());
+  }
+  ASSERT_TRUE(db->Checkpoint().ok());
+  StateMap checkpoint;
+  ASSERT_TRUE(
+      ChainToMap(db->checkpoint_storage()->List(), &checkpoint).ok());
+  EXPECT_EQ(checkpoint.size(), 50u);
+  EXPECT_EQ(checkpoint[5], "v1");
+  EXPECT_EQ(checkpoint[45], "init45");
+}
+
+TEST(MvccTest, ConcurrentCheckpointIsTransactionConsistent) {
+  TempDir dir;
+  Options options;
+  options.max_records = 4096;
+  options.algorithm = CheckpointAlgorithm::kMvcc;
+  options.checkpoint_dir = dir.path();
+  options.disk_bytes_per_sec = 0;
+  std::unique_ptr<Database> db;
+  ASSERT_TRUE(Database::Open(options, &db).ok());
+  auto seed = [](Database* d) {
+    d->registry()->Register(std::make_unique<PutProcedure>());
+    d->registry()->Register(std::make_unique<DelProcedure>());
+    for (uint64_t k = 0; k < 300; ++k) {
+      ASSERT_TRUE(d->Load(k, "init" + std::to_string(k)).ok());
+    }
+  };
+  seed(db.get());
+  ASSERT_TRUE(db->Start().ok());
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 3; ++t) {
+    writers.emplace_back([&, t] {
+      Rng rng(static_cast<uint64_t>(t) + 77);
+      while (!stop.load(std::memory_order_acquire)) {
+        uint64_t key = rng.Uniform(500);  // includes fresh inserts
+        uint32_t proc = rng.Bernoulli(0.1) ? kDelProcId : kPutProcId;
+        db->executor()
+            ->Execute(proc, KeyArgs(key, "w" + std::to_string(rng.Next())),
+                      0)
+            .ok();
+      }
+    });
+  }
+  SleepMicros(20000);
+  for (int c = 0; c < 3; ++c) {
+    ASSERT_TRUE(db->Checkpoint().ok());
+    SleepMicros(10000);
+  }
+  stop.store(true, std::memory_order_release);
+  for (auto& t : writers) t.join();
+
+  for (const CheckpointInfo& info : db->checkpoint_storage()->List()) {
+    StateMap from_checkpoint;
+    ASSERT_TRUE(ChainToMap({info}, &from_checkpoint).ok());
+    StateMap ground_truth = testing_util::ReplayGroundTruth(
+        *db->commit_log(), info.vpoc_lsn, options, seed);
+    EXPECT_EQ(from_checkpoint, ground_truth)
+        << "MVCC checkpoint " << info.id;
+  }
+}
+
+TEST(MvccTest, VersionsAccumulateWithoutEagerGc) {
+  TempDir dir;
+  auto db = MakeMvccDb(dir.path(), 10, /*eager_gc=*/false);
+  auto* mvcc = static_cast<MvccCheckpointer*>(db->checkpointer());
+  int64_t before = mvcc->live_versions();
+  EXPECT_EQ(before, 10);
+  // 50 updates of the same key: the paper's "complete multi-versioning"
+  // memory cost — every version is retained until a capture trims it.
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(db->executor()
+                    ->Execute(kPutProcId,
+                              KeyArgs(3, "v" + std::to_string(i)), 0)
+                    .ok());
+  }
+  EXPECT_EQ(mvcc->live_versions(), before + 50);
+  // A checkpoint trims every chain to its newest version.
+  ASSERT_TRUE(db->Checkpoint().ok());
+  EXPECT_EQ(mvcc->live_versions(), 10);
+}
+
+TEST(MvccTest, EagerGcBoundsVersions) {
+  TempDir dir;
+  auto db = MakeMvccDb(dir.path(), 10, /*eager_gc=*/true);
+  auto* mvcc = static_cast<MvccCheckpointer*>(db->checkpointer());
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(db->executor()
+                    ->Execute(kPutProcId,
+                              KeyArgs(3, "v" + std::to_string(i)), 0)
+                    .ok());
+  }
+  // Head + at most one retained committed version per record.
+  EXPECT_LE(mvcc->live_versions(), 10 + 2);
+}
+
+TEST(MvccTest, DeleteVisibleAtPoC) {
+  TempDir dir;
+  auto db = MakeMvccDb(dir.path(), 20, false);
+  ASSERT_TRUE(db->executor()->Execute(kDelProcId, KeyArgs(7), 0).ok());
+  ASSERT_TRUE(db->Checkpoint().ok());
+  StateMap checkpoint;
+  ASSERT_TRUE(
+      ChainToMap(db->checkpoint_storage()->List(), &checkpoint).ok());
+  EXPECT_EQ(checkpoint.count(7), 0u);
+  EXPECT_EQ(checkpoint.size(), 19u);
+}
+
+TEST(MvccTest, RecoveryFromMvccCheckpoint) {
+  TempDir dir;
+  Options options;
+  options.max_records = 4096;
+  options.algorithm = CheckpointAlgorithm::kMvcc;
+  options.checkpoint_dir = dir.path() + "/ckpt";
+  options.disk_bytes_per_sec = 0;
+  StateMap pre_crash;
+  std::string log_path = dir.path() + "/log";
+  {
+    std::unique_ptr<Database> db;
+    ASSERT_TRUE(Database::Open(options, &db).ok());
+    db->registry()->Register(std::make_unique<PutProcedure>());
+    db->registry()->Register(std::make_unique<DelProcedure>());
+    for (uint64_t k = 0; k < 100; ++k) {
+      ASSERT_TRUE(db->Load(k, "init").ok());
+    }
+    ASSERT_TRUE(db->Start().ok());
+    Rng rng(9);
+    for (int i = 0; i < 200; ++i) {
+      ASSERT_TRUE(db->executor()
+                      ->Execute(kPutProcId,
+                                KeyArgs(rng.Uniform(100),
+                                        "x" + std::to_string(i)),
+                                0)
+                      .ok());
+    }
+    ASSERT_TRUE(db->Checkpoint().ok());
+    for (int i = 0; i < 80; ++i) {
+      ASSERT_TRUE(db->executor()
+                      ->Execute(kPutProcId,
+                                KeyArgs(rng.Uniform(100),
+                                        "y" + std::to_string(i)),
+                                0)
+                      .ok());
+    }
+    pre_crash = DbToMap(db.get());
+    ASSERT_TRUE(db->commit_log()->PersistTo(log_path).ok());
+  }
+  std::unique_ptr<Database> recovered;
+  ASSERT_TRUE(Database::Open(options, &recovered).ok());
+  recovered->registry()->Register(std::make_unique<PutProcedure>());
+  recovered->registry()->Register(std::make_unique<DelProcedure>());
+  CommitLog replay_log;
+  ASSERT_TRUE(replay_log.LoadFrom(log_path).ok());
+  RecoveryStats stats;
+  ASSERT_TRUE(recovered->Recover(&replay_log, &stats).ok());
+  ASSERT_TRUE(recovered->Start().ok());
+  EXPECT_EQ(DbToMap(recovered.get()), pre_crash);
+}
+
+TEST(MvccTest, NeverClosesGate) {
+  TempDir dir;
+  auto db = MakeMvccDb(dir.path(), 100, false);
+  std::atomic<bool> stop{false}, closed{false};
+  std::thread watcher([&] {
+    while (!stop.load()) {
+      if (!db->gate()->IsOpen()) closed = true;
+      SleepMicros(100);
+    }
+  });
+  ASSERT_TRUE(db->Checkpoint().ok());
+  stop = true;
+  watcher.join();
+  EXPECT_FALSE(closed.load());
+  EXPECT_EQ(db->checkpointer()->last_cycle().quiesce_micros, 0);
+}
+
+}  // namespace
+}  // namespace calcdb

@@ -1,0 +1,224 @@
+// Property-style stress tests (parameterized sweeps, TEST_P):
+//
+//  P1. Serializability: concurrent multi-key transfer transactions must
+//      conserve a global sum, under every checkpointing algorithm, with
+//      checkpoints racing the workload.
+//  P2. Replay equivalence: the live state after any concurrent run equals
+//      a serial deterministic replay of the commit log (the property
+//      recovery depends on).
+//  P3. Checkpoint monotonicity: checkpoints taken later have
+//      point-of-consistency LSNs at least as large, and every checkpoint
+//      file is self-validating (CRC/footer).
+
+#include <atomic>
+#include <memory>
+#include <thread>
+
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+#include "txn/txn_context.h"
+#include "util/clock.h"
+#include "util/rng.h"
+
+namespace calcdb {
+namespace {
+
+using testing_util::DbToMap;
+using testing_util::StateMap;
+using testing_util::TempDir;
+
+constexpr uint32_t kTransferNProcId = 500;
+constexpr uint64_t kAccounts = 256;
+constexpr int64_t kInitial = 1000;
+
+// Moves 1 unit from each of keys[0..n-2] to keys[n-1].
+// args: [u32 n][u64 key]*n
+class TransferNProcedure : public StoredProcedure {
+ public:
+  uint32_t id() const override { return kTransferNProcId; }
+  const char* name() const override { return "transfer_n"; }
+  void GetKeys(std::string_view args, KeySets* sets) const override {
+    uint32_t n;
+    memcpy(&n, args.data(), 4);
+    for (uint32_t i = 0; i < n; ++i) {
+      uint64_t key;
+      memcpy(&key, args.data() + 4 + 8 * i, 8);
+      sets->write_keys.push_back(key);
+    }
+  }
+  Status Run(TxnContext& ctx, std::string_view args) const override {
+    uint32_t n;
+    memcpy(&n, args.data(), 4);
+    std::string value;
+    int64_t gathered = 0;
+    for (uint32_t i = 0; i + 1 < n; ++i) {
+      uint64_t key;
+      memcpy(&key, args.data() + 4 + 8 * i, 8);
+      CALCDB_RETURN_NOT_OK(ctx.Read(key, &value));
+      int64_t balance;
+      memcpy(&balance, value.data(), 8);
+      if (balance <= 0) continue;
+      balance -= 1;
+      gathered += 1;
+      CALCDB_RETURN_NOT_OK(ctx.Write(
+          key, std::string_view(reinterpret_cast<char*>(&balance), 8)));
+    }
+    uint64_t sink;
+    memcpy(&sink, args.data() + 4 + 8 * (n - 1), 8);
+    CALCDB_RETURN_NOT_OK(ctx.Read(sink, &value));
+    int64_t balance;
+    memcpy(&balance, value.data(), 8);
+    balance += gathered;
+    return ctx.Write(
+        sink, std::string_view(reinterpret_cast<char*>(&balance), 8));
+  }
+};
+
+std::string TransferNArgs(const std::vector<uint64_t>& keys) {
+  uint32_t n = static_cast<uint32_t>(keys.size());
+  std::string args(reinterpret_cast<const char*>(&n), 4);
+  for (uint64_t key : keys) {
+    args.append(reinterpret_cast<const char*>(&key), 8);
+  }
+  return args;
+}
+
+int64_t SumBalances(const StateMap& state) {
+  int64_t total = 0;
+  for (const auto& [key, value] : state) {
+    if (value.size() == 8) {
+      int64_t balance;
+      memcpy(&balance, value.data(), 8);
+      total += balance;
+    }
+  }
+  return total;
+}
+
+void SeedAccounts(Database* db) {
+  db->registry()->Register(std::make_unique<TransferNProcedure>());
+  int64_t balance = kInitial;
+  for (uint64_t account = 0; account < kAccounts; ++account) {
+    ASSERT_TRUE(
+        db->Load(account, std::string_view(
+                              reinterpret_cast<char*>(&balance), 8))
+            .ok());
+  }
+}
+
+struct PropertyCase {
+  CheckpointAlgorithm algorithm;
+  uint64_t seed;
+};
+
+class PropertyStressTest
+    : public ::testing::TestWithParam<PropertyCase> {};
+
+TEST_P(PropertyStressTest, ConservationReplayAndCheckpointValidity) {
+  const PropertyCase& param = GetParam();
+  TempDir dir;
+  Options options;
+  options.max_records = kAccounts + 8;
+  options.algorithm = param.algorithm;
+  options.checkpoint_dir = dir.path();
+  options.disk_bytes_per_sec = 0;
+  std::unique_ptr<Database> db;
+  ASSERT_TRUE(Database::Open(options, &db).ok());
+  SeedAccounts(db.get());
+  // A base full checkpoint of the loaded state: partial algorithms merge
+  // onto it; for full algorithms it is simply the first checkpoint.
+  ASSERT_TRUE(db->WriteBaseCheckpoint().ok());
+  ASSERT_TRUE(db->Start().ok());
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 3; ++t) {
+    workers.emplace_back([&, t] {
+      Rng rng(param.seed + static_cast<uint64_t>(t) * 1000);
+      while (!stop.load(std::memory_order_acquire)) {
+        uint32_t n = 2 + static_cast<uint32_t>(rng.Uniform(6));
+        std::vector<uint64_t> keys;
+        while (keys.size() < n) {
+          uint64_t key = rng.Uniform(kAccounts);
+          bool dup = false;
+          for (uint64_t existing : keys) {
+            if (existing == key) dup = true;
+          }
+          if (!dup) keys.push_back(key);
+        }
+        db->executor()
+            ->Execute(kTransferNProcId, TransferNArgs(keys), 0)
+            .ok();
+      }
+    });
+  }
+  for (int c = 0; c < 3; ++c) {
+    SleepMicros(15000);
+    if (param.algorithm != CheckpointAlgorithm::kNone) {
+      ASSERT_TRUE(db->Checkpoint().ok());
+    }
+  }
+  stop.store(true, std::memory_order_release);
+  for (auto& t : workers) t.join();
+
+  // P1: conservation in the live database.
+  StateMap live = DbToMap(db.get());
+  EXPECT_EQ(SumBalances(live),
+            static_cast<int64_t>(kAccounts) * kInitial);
+
+  // P1': conservation in every (chain-expanded) checkpoint.
+  std::vector<CheckpointInfo> all = db->checkpoint_storage()->List();
+  bool partial = db->checkpointer()->is_partial();
+  for (size_t upto = 1; upto <= all.size(); ++upto) {
+    StateMap checkpoint_state;
+    std::vector<CheckpointInfo> chain;
+    if (partial) {
+      chain.assign(all.begin(), all.begin() + upto);
+    } else {
+      chain.assign(all.begin() + (upto - 1), all.begin() + upto);
+    }
+    ASSERT_TRUE(
+        testing_util::ChainToMap(chain, &checkpoint_state).ok());
+    EXPECT_EQ(SumBalances(checkpoint_state),
+              static_cast<int64_t>(kAccounts) * kInitial)
+        << AlgorithmName(param.algorithm) << " checkpoint " << upto;
+  }
+
+  // P2: replay equivalence.
+  StateMap replayed = testing_util::ReplayGroundTruth(
+      *db->commit_log(), db->commit_log()->Size(), options,
+      [](Database* fresh) { SeedAccounts(fresh); });
+  EXPECT_EQ(live, replayed);
+
+  // P3: PoC LSN monotonicity.
+  for (size_t i = 1; i < all.size(); ++i) {
+    EXPECT_GE(all[i].vpoc_lsn, all[i - 1].vpoc_lsn);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PropertyStressTest,
+    ::testing::Values(
+        PropertyCase{CheckpointAlgorithm::kCalc, 1},
+        PropertyCase{CheckpointAlgorithm::kCalc, 2},
+        PropertyCase{CheckpointAlgorithm::kCalc, 3},
+        PropertyCase{CheckpointAlgorithm::kPCalc, 1},
+        PropertyCase{CheckpointAlgorithm::kPCalc, 2},
+        PropertyCase{CheckpointAlgorithm::kNaive, 1},
+        PropertyCase{CheckpointAlgorithm::kPNaive, 1},
+        PropertyCase{CheckpointAlgorithm::kIpp, 1},
+        PropertyCase{CheckpointAlgorithm::kIpp, 2},
+        PropertyCase{CheckpointAlgorithm::kPIpp, 1},
+        PropertyCase{CheckpointAlgorithm::kZigzag, 1},
+        PropertyCase{CheckpointAlgorithm::kZigzag, 2},
+        PropertyCase{CheckpointAlgorithm::kPZigzag, 1},
+        PropertyCase{CheckpointAlgorithm::kMvcc, 1},
+        PropertyCase{CheckpointAlgorithm::kMvcc, 2},
+        PropertyCase{CheckpointAlgorithm::kNone, 1}),
+    [](const ::testing::TestParamInfo<PropertyCase>& info) {
+      return std::string(AlgorithmName(info.param.algorithm)) + "_s" +
+             std::to_string(info.param.seed);
+    });
+
+}  // namespace
+}  // namespace calcdb

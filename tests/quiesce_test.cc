@@ -1,0 +1,215 @@
+// Tests of the quiesce machinery: the admission gate, QuiesceAndRun's
+// physical-point-of-consistency drain, and which algorithms close the
+// gate during a checkpoint (the paper's central qualitative contrast).
+
+#include <atomic>
+#include <memory>
+#include <thread>
+
+#include "checkpoint/quiesce.h"
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+#include "txn/txn_context.h"
+#include "util/clock.h"
+#include "util/rng.h"
+
+namespace calcdb {
+namespace {
+
+using testing_util::TempDir;
+
+TEST(AdmissionGateTest, OpenByDefault) {
+  AdmissionGate gate;
+  EXPECT_TRUE(gate.IsOpen());
+  gate.WaitAdmitted();  // must not block
+}
+
+TEST(AdmissionGateTest, CloseBlocksOpenReleases) {
+  AdmissionGate gate;
+  gate.Close();
+  EXPECT_FALSE(gate.IsOpen());
+  std::atomic<bool> admitted{false};
+  std::thread waiter([&] {
+    gate.WaitAdmitted();
+    admitted = true;
+  });
+  SleepMicros(20000);
+  EXPECT_FALSE(admitted.load());
+  gate.Open();
+  waiter.join();
+  EXPECT_TRUE(admitted.load());
+}
+
+TEST(AdmissionGateTest, ManyWaitersAllReleased) {
+  AdmissionGate gate;
+  gate.Close();
+  std::atomic<int> admitted{0};
+  std::vector<std::thread> waiters;
+  for (int i = 0; i < 8; ++i) {
+    waiters.emplace_back([&] {
+      gate.WaitAdmitted();
+      admitted.fetch_add(1);
+    });
+  }
+  SleepMicros(20000);
+  EXPECT_EQ(admitted.load(), 0);
+  gate.Open();
+  for (auto& t : waiters) t.join();
+  EXPECT_EQ(admitted.load(), 8);
+}
+
+TEST(QuiesceTest, DrainsActiveTransactionsBeforeCritical) {
+  KVStore store(64);
+  CommitLog log;
+  PhaseController phases;
+  AdmissionGate gate;
+  EngineContext engine;
+  engine.store = &store;
+  engine.log = &log;
+  engine.phases = &phases;
+  engine.gate = &gate;
+
+  // Simulate an active transaction that finishes 50ms from now.
+  Phase p = phases.BeginTxn();
+  std::thread finisher([&] {
+    SleepMicros(50000);
+    phases.EndTxn(p);
+  });
+
+  std::atomic<int64_t> active_at_critical{-1};
+  Status st;
+  Stopwatch sw;
+  int64_t quiesce_us = QuiesceAndRun(
+      engine,
+      [&]() -> Status {
+        active_at_critical = phases.TotalActive();
+        return Status::OK();
+      },
+      &st);
+  finisher.join();
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(active_at_critical.load(), 0);  // physical PoC reached
+  EXPECT_GE(quiesce_us, 40000);             // waited for the transaction
+  EXPECT_TRUE(gate.IsOpen());               // reopened afterwards
+}
+
+TEST(QuiesceTest, CriticalErrorStillReopensGate) {
+  KVStore store(64);
+  CommitLog log;
+  PhaseController phases;
+  AdmissionGate gate;
+  EngineContext engine{&store, &log, &phases, &gate, nullptr};
+  Status st;
+  QuiesceAndRun(
+      engine, [&]() -> Status { return Status::IOError("disk died"); },
+      &st);
+  EXPECT_TRUE(st.IsIOError());
+  EXPECT_TRUE(gate.IsOpen());
+}
+
+// --- which algorithms quiesce ------------------------------------------
+
+constexpr uint32_t kSlowWriteProcId = 400;
+
+// Writes one key, holding its locks for `duration_us`.
+// args: [u64 key][u64 duration_us]
+class SlowWriteProcedure : public StoredProcedure {
+ public:
+  uint32_t id() const override { return kSlowWriteProcId; }
+  const char* name() const override { return "slow_write"; }
+  void GetKeys(std::string_view args, KeySets* sets) const override {
+    uint64_t key;
+    memcpy(&key, args.data(), 8);
+    sets->write_keys.push_back(key);
+  }
+  Status Run(TxnContext& ctx, std::string_view args) const override {
+    uint64_t key, duration;
+    memcpy(&key, args.data(), 8);
+    memcpy(&duration, args.data() + 8, 8);
+    CALCDB_RETURN_NOT_OK(ctx.Write(key, "slow"));
+    SleepMicros(static_cast<int64_t>(duration));
+    return Status::OK();
+  }
+};
+
+std::string SlowArgs(uint64_t key, uint64_t duration_us) {
+  std::string args(reinterpret_cast<const char*>(&key), 8);
+  args.append(reinterpret_cast<const char*>(&duration_us), 8);
+  return args;
+}
+
+struct QuiesceCase {
+  CheckpointAlgorithm algorithm;
+  bool expect_quiesce;
+};
+
+class QuiesceBehaviorTest
+    : public ::testing::TestWithParam<QuiesceCase> {};
+
+TEST_P(QuiesceBehaviorTest, GateClosureMatchesAlgorithmClass) {
+  const QuiesceCase& param = GetParam();
+  TempDir dir;
+  Options options;
+  options.max_records = 1024;
+  options.algorithm = param.algorithm;
+  options.checkpoint_dir = dir.path();
+  options.disk_bytes_per_sec = 0;
+  std::unique_ptr<Database> db;
+  ASSERT_TRUE(Database::Open(options, &db).ok());
+  db->registry()->Register(std::make_unique<SlowWriteProcedure>());
+  for (uint64_t k = 0; k < 200; ++k) {
+    ASSERT_TRUE(db->Load(k, "v").ok());
+  }
+  ASSERT_TRUE(db->Start().ok());
+
+  // A long transaction is in flight when the checkpoint starts: the
+  // physical-point-of-consistency algorithms must close the gate until it
+  // drains (>= ~80ms); CALC must never close it.
+  std::thread slow([&] {
+    db->executor()
+        ->Execute(kSlowWriteProcId, SlowArgs(5, 100000), 0)
+        .ok();
+  });
+  SleepMicros(20000);
+
+  std::atomic<bool> saw_closed{false};
+  std::atomic<bool> stop{false};
+  std::thread watcher([&] {
+    while (!stop.load()) {
+      if (!db->gate()->IsOpen()) saw_closed = true;
+      SleepMicros(200);
+    }
+  });
+  ASSERT_TRUE(db->Checkpoint().ok());
+  stop = true;
+  watcher.join();
+  slow.join();
+
+  EXPECT_EQ(saw_closed.load(), param.expect_quiesce)
+      << AlgorithmName(param.algorithm);
+  CheckpointCycleStats stats = db->checkpointer()->last_cycle();
+  if (param.expect_quiesce) {
+    EXPECT_GE(stats.quiesce_micros, 50000);  // waited for the slow txn
+  } else {
+    EXPECT_EQ(stats.quiesce_micros, 0);
+  }
+  EXPECT_TRUE(db->gate()->IsOpen());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Algorithms, QuiesceBehaviorTest,
+    ::testing::Values(
+        QuiesceCase{CheckpointAlgorithm::kCalc, false},
+        QuiesceCase{CheckpointAlgorithm::kPCalc, false},
+        QuiesceCase{CheckpointAlgorithm::kMvcc, false},
+        QuiesceCase{CheckpointAlgorithm::kNaive, true},
+        QuiesceCase{CheckpointAlgorithm::kPFuzzy, true},
+        QuiesceCase{CheckpointAlgorithm::kIpp, true},
+        QuiesceCase{CheckpointAlgorithm::kZigzag, true},
+        QuiesceCase{CheckpointAlgorithm::kFork, true}),
+    [](const ::testing::TestParamInfo<QuiesceCase>& info) {
+      return std::string(AlgorithmName(info.param.algorithm));
+    });
+
+}  // namespace
+}  // namespace calcdb

@@ -1,0 +1,90 @@
+// Tests for the periodic checkpoint scheduler and the Zipf workload
+// distribution option.
+
+#include <memory>
+
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+#include "workload/microbench.h"
+
+namespace calcdb {
+namespace {
+
+using testing_util::TempDir;
+
+TEST(PeriodicCheckpointTest, TakesCheckpointsOnSchedule) {
+  TempDir dir;
+  Options options;
+  options.max_records = 1024;
+  options.algorithm = CheckpointAlgorithm::kCalc;
+  options.checkpoint_dir = dir.path();
+  options.disk_bytes_per_sec = 0;
+  std::unique_ptr<Database> db;
+  ASSERT_TRUE(Database::Open(options, &db).ok());
+  MicrobenchConfig config;
+  config.num_records = 100;
+  ASSERT_TRUE(SetupMicrobench(db.get(), config).ok());
+  ASSERT_TRUE(db->Start().ok());
+
+  ASSERT_TRUE(db->StartPeriodicCheckpoints(30).ok());
+  EXPECT_TRUE(db->StartPeriodicCheckpoints(30).IsInvalidArgument());
+  SleepMicros(200000);
+  db->StopPeriodicCheckpoints();
+  uint64_t done = db->periodic_checkpoints_done();
+  EXPECT_GE(done, 3u);  // ~6 expected in 200ms at 30ms cadence
+  EXPECT_EQ(db->checkpoint_storage()->List().size(), done);
+  // Stop is idempotent and Shutdown tolerates it.
+  db->StopPeriodicCheckpoints();
+  EXPECT_TRUE(db->Shutdown().ok());
+}
+
+TEST(PeriodicCheckpointTest, RequiresStartAndCheckpointer) {
+  TempDir dir;
+  Options options;
+  options.max_records = 64;
+  options.algorithm = CheckpointAlgorithm::kNone;
+  options.checkpoint_dir = dir.path();
+  std::unique_ptr<Database> db;
+  ASSERT_TRUE(Database::Open(options, &db).ok());
+  EXPECT_TRUE(db->StartPeriodicCheckpoints(50).IsInvalidArgument());
+  ASSERT_TRUE(db->Start().ok());
+  EXPECT_TRUE(db->StartPeriodicCheckpoints(50).IsInvalidArgument());
+}
+
+TEST(ZipfWorkloadTest, KeysBoundedAndSkewed) {
+  MicrobenchConfig config;
+  config.num_records = 10000;
+  config.ops_per_txn = 10;
+  config.distribution = MicrobenchConfig::AccessDistribution::kZipf;
+  config.zipf_theta = 0.99;
+  MicrobenchWorkload workload(config);
+  Rng rng(21);
+  uint64_t head_hits = 0, total = 0;
+  for (int i = 0; i < 500; ++i) {
+    TxnRequest req = workload.Next(rng);
+    KeySets sets;
+    RmwProcedure proc(100);
+    proc.GetKeys(req.args, &sets);
+    for (uint64_t k : sets.write_keys) {
+      ASSERT_LT(k, config.num_records);
+      ++total;
+      if (k < 100) ++head_hits;
+    }
+  }
+  // Top 1% of the keyspace must receive far more than 1% of accesses.
+  EXPECT_GT(head_hits * 20, total);
+}
+
+TEST(ZipfWorkloadTest, DeterministicGivenSeed) {
+  MicrobenchConfig config;
+  config.num_records = 1000;
+  config.distribution = MicrobenchConfig::AccessDistribution::kZipf;
+  MicrobenchWorkload w1(config), w2(config);
+  Rng r1(3), r2(3);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(w1.Next(r1).args, w2.Next(r2).args);
+  }
+}
+
+}  // namespace
+}  // namespace calcdb

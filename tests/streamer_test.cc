@@ -1,0 +1,161 @@
+// Tests for the command-log streamer: continuous persistence, torn-tail
+// tolerance, and end-to-end streamed recovery through the Database facade.
+
+#include <memory>
+#include <thread>
+
+#include "gtest/gtest.h"
+#include "log/command_log_streamer.h"
+#include "tests/test_util.h"
+#include "workload/microbench.h"
+
+namespace calcdb {
+namespace {
+
+using testing_util::DbToMap;
+using testing_util::TempDir;
+
+TEST(CommandLogStreamerTest, StreamsAndDrainsOnStop) {
+  TempDir dir;
+  std::string path = dir.path() + "/stream";
+  CommitLog log;
+  CommandLogStreamer streamer(&log);
+  ASSERT_TRUE(streamer.Start(path, /*flush_interval_ms=*/1).ok());
+
+  for (int i = 0; i < 500; ++i) {
+    log.AppendCommit(static_cast<uint64_t>(i), 7,
+                     "args" + std::to_string(i));
+  }
+  // Wait for the background flusher to catch up.
+  for (int tries = 0; tries < 500 && streamer.persisted_lsn() < 500;
+       ++tries) {
+    SleepMicros(2000);
+  }
+  EXPECT_GE(streamer.persisted_lsn(), 1u);  // streamed while running
+  log.AppendCommit(999, 7, "tail");
+  ASSERT_TRUE(streamer.Stop().ok());
+  EXPECT_EQ(streamer.persisted_lsn(), 501u);  // drained on stop
+
+  CommitLog loaded;
+  ASSERT_TRUE(loaded.LoadFrom(path).ok());
+  ASSERT_EQ(loaded.Size(), 501u);
+  EXPECT_EQ(loaded.Entry(0).args, "args0");
+  EXPECT_EQ(loaded.Entry(500).txn_id, 999u);
+}
+
+TEST(CommandLogStreamerTest, StreamsPhaseTokensToo) {
+  TempDir dir;
+  std::string path = dir.path() + "/stream";
+  CommitLog log;
+  CommandLogStreamer streamer(&log);
+  ASSERT_TRUE(streamer.Start(path, 1).ok());
+  log.AppendCommit(1, 2, "a");
+  log.AppendPhaseTransition(Phase::kResolve, 5);
+  log.AppendCommit(2, 2, "b");
+  ASSERT_TRUE(streamer.Stop().ok());
+  CommitLog loaded;
+  ASSERT_TRUE(loaded.LoadFrom(path).ok());
+  ASSERT_EQ(loaded.Size(), 3u);
+  EXPECT_EQ(loaded.Entry(1).type, LogEntry::Type::kPhaseTransition);
+  EXPECT_EQ(loaded.VpocCount(), 0u);  // count rebuilt only via appends
+  uint64_t lsn;
+  EXPECT_TRUE(loaded.FindPhaseToken(5, Phase::kResolve, &lsn));
+  EXPECT_EQ(lsn, 1u);
+}
+
+TEST(CommandLogStreamerTest, TornTailDiscardedOnLoad) {
+  TempDir dir;
+  std::string path = dir.path() + "/stream";
+  CommitLog log;
+  log.AppendCommit(1, 2, "complete-entry");
+  log.AppendCommit(2, 2, "will-be-torn");
+  ASSERT_TRUE(log.PersistTo(path).ok());
+
+  // Tear the final entry: crash mid-append.
+  FILE* f = fopen(path.c_str(), "r+b");
+  ASSERT_NE(f, nullptr);
+  fseek(f, 0, SEEK_END);
+  long size = ftell(f);
+  fclose(f);
+  ASSERT_EQ(truncate(path.c_str(), size - 5), 0);
+
+  CommitLog loaded;
+  ASSERT_TRUE(loaded.LoadFrom(path).ok());
+  ASSERT_EQ(loaded.Size(), 1u);
+  EXPECT_EQ(loaded.Entry(0).args, "complete-entry");
+}
+
+TEST(CommandLogStreamerTest, DoubleStartRejected) {
+  TempDir dir;
+  CommitLog log;
+  CommandLogStreamer streamer(&log);
+  ASSERT_TRUE(streamer.Start(dir.path() + "/s1", 5).ok());
+  EXPECT_FALSE(streamer.Start(dir.path() + "/s2", 5).ok());
+  EXPECT_TRUE(streamer.Stop().ok());
+  EXPECT_TRUE(streamer.Stop().ok());  // idempotent
+}
+
+TEST(StreamedRecoveryTest, DatabaseRecoversFromStreamedLog) {
+  TempDir dir;
+  MicrobenchConfig config;
+  config.num_records = 300;
+  config.value_size = 64;
+  config.ops_per_txn = 5;
+
+  Options options;
+  options.max_records = 1024;
+  options.algorithm = CheckpointAlgorithm::kCalc;
+  options.checkpoint_dir = dir.path() + "/ckpt";
+  options.disk_bytes_per_sec = 0;
+  options.command_log_path = dir.path() + "/commandlog";
+  options.command_log_flush_ms = 1;
+
+  testing_util::StateMap pre_crash;
+  {
+    std::unique_ptr<Database> db;
+    ASSERT_TRUE(Database::Open(options, &db).ok());
+    ASSERT_TRUE(SetupMicrobench(db.get(), config).ok());
+    ASSERT_TRUE(db->Start().ok());
+    ASSERT_NE(db->command_log_streamer(), nullptr);
+
+    MicrobenchWorkload workload(config);
+    Rng rng(5);
+    for (int i = 0; i < 200; ++i) {
+      TxnRequest req = workload.Next(rng);
+      ASSERT_TRUE(
+          db->executor()->Execute(req.proc_id, std::move(req.args), 0).ok());
+    }
+    ASSERT_TRUE(db->Checkpoint().ok());
+    for (int i = 0; i < 150; ++i) {
+      TxnRequest req = workload.Next(rng);
+      ASSERT_TRUE(
+          db->executor()->Execute(req.proc_id, std::move(req.args), 0).ok());
+    }
+    pre_crash = DbToMap(db.get());
+    // Graceful shutdown flushes the streamed log; the Database destructor
+    // would do the same.
+    ASSERT_TRUE(db->Shutdown().ok());
+  }
+
+  std::unique_ptr<Database> recovered;
+  ASSERT_TRUE(Database::Open(options, &recovered).ok());
+  recovered->registry()->Register(
+      std::make_unique<RmwProcedure>(config.value_size));
+  recovered->registry()->Register(
+      std::make_unique<BatchWriteProcedure>(config.value_size));
+  CommitLog replay_log;
+  ASSERT_TRUE(replay_log.LoadFrom(options.command_log_path).ok());
+  RecoveryStats stats;
+  ASSERT_TRUE(recovered->Recover(&replay_log, &stats).ok());
+  // Note: Start() would open the streamer on the same path and truncate
+  // it; a production deployment rotates log files. Read state before.
+  EXPECT_GT(stats.txns_replayed, 0u);
+  // Start() re-opens the streamer on the same path (truncating it — a
+  // production deployment would rotate); the replayed state is already in
+  // memory.
+  EXPECT_TRUE(recovered->Start().ok());
+  EXPECT_EQ(DbToMap(recovered.get()), pre_crash);
+}
+
+}  // namespace
+}  // namespace calcdb

@@ -1,0 +1,181 @@
+// Tests for the ring-bounded TPC-C order tables (DESIGN.md §4b.6): slot
+// reuse semantics, bounded record count, replay determinism with the ring
+// size carried in transaction args, and checkpoint consistency on the
+// ring workload.
+
+#include <memory>
+
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+#include "workload/tpcc.h"
+
+namespace calcdb {
+namespace {
+
+using testing_util::DbToMap;
+using testing_util::StateMap;
+using testing_util::TempDir;
+
+tpcc::TpccConfig RingConfig() {
+  tpcc::TpccConfig config;
+  config.num_warehouses = 1;
+  config.districts_per_warehouse = 1;
+  config.customers_per_district = 10;
+  config.num_items = 30;
+  config.initial_orders_per_district = 0;
+  config.order_ring_size = 5;  // tiny ring: wraps quickly
+  config.history_ring_size = 64;
+  return config;
+}
+
+std::unique_ptr<Database> OpenRingDb(const std::string& dir,
+                                     const tpcc::TpccConfig& config) {
+  Options options;
+  options.max_records = tpcc::InitialRecordCount(config) + 4096;
+  options.algorithm = CheckpointAlgorithm::kNone;
+  options.checkpoint_dir = dir;
+  std::unique_ptr<Database> db;
+  EXPECT_TRUE(Database::Open(options, &db).ok());
+  EXPECT_TRUE(tpcc::SetupTpcc(db.get(), config).ok());
+  EXPECT_TRUE(db->Start().ok());
+  return db;
+}
+
+tpcc::NewOrderArgs MakeOrder(const tpcc::TpccConfig& config,
+                             uint32_t c_id) {
+  tpcc::NewOrderArgs args{};
+  args.w_id = 1;
+  args.d_id = 1;
+  args.c_id = c_id;
+  args.ol_cnt = 5;
+  args.ring = config.order_ring_size;
+  args.entry_d = c_id * 1000;
+  for (uint32_t i = 0; i < args.ol_cnt; ++i) {
+    args.lines[i] = {i + 1, 1, 2};
+  }
+  return args;
+}
+
+TEST(TpccRingTest, OIdAdvancesWhileRowsWrap) {
+  TempDir dir;
+  tpcc::TpccConfig config = RingConfig();
+  auto db = OpenRingDb(dir.path(), config);
+
+  // 12 orders through a ring of 5: o_ids 1..12, rows wrap twice.
+  for (uint32_t i = 1; i <= 12; ++i) {
+    ASSERT_TRUE(db->executor()
+                    ->Execute(tpcc::kNewOrderProcId,
+                              MakeOrder(config, (i % 10) + 1).Serialize(),
+                              0)
+                    .ok());
+  }
+  std::string buf;
+  ASSERT_TRUE(db->Read(tpcc::DistrictKey(1, 1), &buf).ok());
+  tpcc::DistrictRow district;
+  ASSERT_TRUE(tpcc::ParseRow(buf, &district).ok());
+  EXPECT_EQ(district.d_next_o_id, 13u);  // logical o_id never wraps
+
+  // Only ring slots 1..5 exist; slot for o_id 12 is (12-1)%5+1 = 2.
+  for (uint32_t slot = 1; slot <= 5; ++slot) {
+    EXPECT_TRUE(db->Read(tpcc::OrderKey(1, 1, slot), &buf).ok()) << slot;
+  }
+  EXPECT_TRUE(db->Read(tpcc::OrderKey(1, 1, 6), &buf).IsNotFound());
+  // Slot 2 holds the latest generation (o_id 12, customer (12%10)+1=3).
+  ASSERT_TRUE(db->Read(tpcc::OrderKey(1, 1, 2), &buf).ok());
+  tpcc::OrderRow order;
+  ASSERT_TRUE(tpcc::ParseRow(buf, &order).ok());
+  EXPECT_EQ(order.o_c_id, 3u);
+  EXPECT_EQ(order.o_entry_d, 3000u);
+}
+
+TEST(TpccRingTest, RecordCountBounded) {
+  TempDir dir;
+  tpcc::TpccConfig config = RingConfig();
+  auto db = OpenRingDb(dir.path(), config);
+  uint64_t baseline = db->store()->CountPresent();
+  for (uint32_t i = 0; i < 40; ++i) {
+    ASSERT_TRUE(db->executor()
+                    ->Execute(tpcc::kNewOrderProcId,
+                              MakeOrder(config, (i % 10) + 1).Serialize(),
+                              0)
+                    .ok());
+  }
+  // Ring of 5 orders x (1 ORDER + 1 NEW-ORDER + 5 ORDER-LINE) = 35 rows
+  // max, regardless of 40 transactions.
+  EXPECT_LE(db->store()->CountPresent(), baseline + 5 * 7);
+}
+
+TEST(TpccRingTest, ReplayReproducesRingStateExactly) {
+  TempDir dir;
+  tpcc::TpccConfig config = RingConfig();
+  Options options;
+  options.max_records = tpcc::InitialRecordCount(config) + 4096;
+  options.algorithm = CheckpointAlgorithm::kNone;
+  options.checkpoint_dir = dir.path();
+  std::unique_ptr<Database> db;
+  ASSERT_TRUE(Database::Open(options, &db).ok());
+  ASSERT_TRUE(tpcc::SetupTpcc(db.get(), config).ok());
+  ASSERT_TRUE(db->Start().ok());
+  tpcc::TpccWorkload workload(config);
+  Rng rng(3);
+  for (int i = 0; i < 300; ++i) {
+    TxnRequest req = workload.Next(rng);
+    db->executor()->Execute(req.proc_id, std::move(req.args), 0).ok();
+  }
+  StateMap live = DbToMap(db.get());
+  StateMap replayed = testing_util::ReplayGroundTruth(
+      *db->commit_log(), db->commit_log()->Size(), options,
+      [&](Database* fresh) {
+        ASSERT_TRUE(tpcc::SetupTpcc(fresh, config).ok());
+      });
+  EXPECT_EQ(live, replayed);
+}
+
+TEST(TpccRingTest, HistoryKeysBoundedByRing) {
+  tpcc::TpccConfig config = RingConfig();
+  tpcc::TpccWorkload workload(config);
+  Rng rng(9);
+  for (int i = 0; i < 500; ++i) {
+    TxnRequest req = workload.Next(rng);
+    if (req.proc_id != tpcc::kPaymentProcId) continue;
+    tpcc::PaymentArgs args;
+    ASSERT_TRUE(tpcc::PaymentArgs::Parse(req.args, &args).ok());
+    EXPECT_LT(args.h_seq, config.history_ring_size);
+  }
+}
+
+TEST(TpccRingTest, CheckpointConsistentOnRingWorkload) {
+  TempDir dir;
+  tpcc::TpccConfig config = RingConfig();
+  Options options;
+  options.max_records = tpcc::InitialRecordCount(config) + 4096;
+  options.algorithm = CheckpointAlgorithm::kCalc;
+  options.checkpoint_dir = dir.path();
+  options.disk_bytes_per_sec = 0;
+  std::unique_ptr<Database> db;
+  ASSERT_TRUE(Database::Open(options, &db).ok());
+  ASSERT_TRUE(tpcc::SetupTpcc(db.get(), config).ok());
+  ASSERT_TRUE(db->Start().ok());
+  tpcc::TpccWorkload workload(config);
+  Rng rng(5);
+  for (int i = 0; i < 150; ++i) {
+    TxnRequest req = workload.Next(rng);
+    db->executor()->Execute(req.proc_id, std::move(req.args), 0).ok();
+  }
+  ASSERT_TRUE(db->Checkpoint().ok());
+  for (int i = 0; i < 100; ++i) {  // ring keeps wrapping post-VPoC
+    TxnRequest req = workload.Next(rng);
+    db->executor()->Execute(req.proc_id, std::move(req.args), 0).ok();
+  }
+  CheckpointInfo info = db->checkpoint_storage()->List()[0];
+  StateMap from_checkpoint;
+  ASSERT_TRUE(testing_util::ChainToMap({info}, &from_checkpoint).ok());
+  StateMap ground_truth = testing_util::ReplayGroundTruth(
+      *db->commit_log(), info.vpoc_lsn, options, [&](Database* fresh) {
+        ASSERT_TRUE(tpcc::SetupTpcc(fresh, config).ok());
+      });
+  EXPECT_EQ(from_checkpoint, ground_truth);
+}
+
+}  // namespace
+}  // namespace calcdb

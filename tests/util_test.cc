@@ -1,0 +1,329 @@
+// Unit tests for the util layer: Status, clock, latches, bit vectors,
+// Bloom filter, RNG, histogram, CRC32.
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "util/bitvec.h"
+#include "util/bloom.h"
+#include "util/clock.h"
+#include "util/crc32.h"
+#include "util/histogram.h"
+#include "util/latch.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace calcdb {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, CodesAndMessages) {
+  Status st = Status::NotFound("missing key");
+  EXPECT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsNotFound());
+  EXPECT_EQ(st.ToString(), "NotFound: missing key");
+  EXPECT_TRUE(Status::Corruption().IsCorruption());
+  EXPECT_TRUE(Status::InvalidArgument().IsInvalidArgument());
+  EXPECT_TRUE(Status::IOError().IsIOError());
+  EXPECT_TRUE(Status::NotSupported().IsNotSupported());
+  EXPECT_TRUE(Status::Busy().IsBusy());
+  EXPECT_TRUE(Status::Aborted().IsAborted());
+}
+
+TEST(StatusTest, ReturnNotOkMacro) {
+  auto fails = []() -> Status {
+    CALCDB_RETURN_NOT_OK(Status::IOError("boom"));
+    return Status::OK();
+  };
+  EXPECT_TRUE(fails().IsIOError());
+  auto passes = []() -> Status {
+    CALCDB_RETURN_NOT_OK(Status::OK());
+    return Status::NotFound();
+  };
+  EXPECT_TRUE(passes().IsNotFound());
+}
+
+TEST(ClockTest, Monotonic) {
+  int64_t a = NowMicros();
+  SleepMicros(1000);
+  int64_t b = NowMicros();
+  EXPECT_GE(b - a, 900);
+}
+
+TEST(ClockTest, Stopwatch) {
+  Stopwatch sw;
+  SleepMicros(2000);
+  EXPECT_GE(sw.ElapsedMicros(), 1500);
+  sw.Restart();
+  EXPECT_LT(sw.ElapsedMicros(), 1500);
+}
+
+TEST(SpinLatchTest, MutualExclusion) {
+  SpinLatch latch;
+  int counter = 0;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 10000; ++i) {
+        SpinLatchGuard guard(latch);
+        ++counter;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(counter, 40000);
+}
+
+TEST(SpinLatchTest, TryLock) {
+  SpinLatch latch;
+  EXPECT_TRUE(latch.TryLock());
+  EXPECT_FALSE(latch.TryLock());
+  latch.Unlock();
+  EXPECT_TRUE(latch.TryLock());
+  latch.Unlock();
+}
+
+TEST(RWSpinLockTest, ReadersShareWritersExclude) {
+  RWSpinLock lock;
+  std::atomic<int> value{0};
+  std::atomic<bool> torn{false};
+  std::vector<std::thread> threads;
+  // Writers bump the value by 2 under the write lock; readers must never
+  // observe an odd intermediate.
+  for (int t = 0; t < 2; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 5000; ++i) {
+        lock.Lock();
+        value.fetch_add(1, std::memory_order_relaxed);
+        value.fetch_add(1, std::memory_order_relaxed);
+        lock.Unlock();
+      }
+    });
+  }
+  for (int t = 0; t < 2; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 20000; ++i) {
+        lock.LockShared();
+        if (value.load(std::memory_order_relaxed) % 2 != 0) torn = true;
+        lock.UnlockShared();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_FALSE(torn.load());
+  EXPECT_EQ(value.load(), 20000);
+}
+
+TEST(AtomicBitVectorTest, SetGetClear) {
+  AtomicBitVector bits(200);
+  EXPECT_EQ(bits.size(), 200u);
+  for (size_t i = 0; i < 200; i += 3) bits.Set(i);
+  for (size_t i = 0; i < 200; ++i) {
+    EXPECT_EQ(bits.Get(i), i % 3 == 0) << i;
+  }
+  EXPECT_EQ(bits.Count(), 67u);
+  bits.Clear(0);
+  EXPECT_FALSE(bits.Get(0));
+  bits.ClearAll();
+  EXPECT_EQ(bits.Count(), 0u);
+}
+
+TEST(AtomicBitVectorTest, TestAndSet) {
+  AtomicBitVector bits(64);
+  EXPECT_FALSE(bits.TestAndSet(5));
+  EXPECT_TRUE(bits.TestAndSet(5));
+  EXPECT_TRUE(bits.Get(5));
+}
+
+TEST(AtomicBitVectorTest, ConcurrentSetsAllLand) {
+  AtomicBitVector bits(4096);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&bits, t] {
+      for (size_t i = static_cast<size_t>(t); i < 4096; i += 4) {
+        bits.Set(i);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(bits.Count(), 4096u);
+}
+
+TEST(AtomicBitVectorTest, WordAccess) {
+  AtomicBitVector bits(128);
+  bits.Set(0);
+  bits.Set(63);
+  bits.Set(64);
+  EXPECT_EQ(bits.Word(0), (uint64_t{1} << 63) | 1u);
+  EXPECT_EQ(bits.Word(1), 1u);
+  bits.SetWord(1, ~uint64_t{0});
+  EXPECT_EQ(bits.Count(), 2u + 64u);
+}
+
+TEST(DualSenseBitVectorTest, SwapSenseActsAsGlobalReset) {
+  DualSenseBitVector bits(100);
+  for (size_t i = 0; i < 100; ++i) {
+    EXPECT_FALSE(bits.IsAvailable(i));
+  }
+  for (size_t i = 0; i < 100; ++i) bits.SetAvailable(i);
+  for (size_t i = 0; i < 100; ++i) {
+    EXPECT_TRUE(bits.IsAvailable(i));
+  }
+  // The paper's SwapAvailableAndNotAvailable: everything flips to
+  // not-available in O(1).
+  bits.SwapSense();
+  for (size_t i = 0; i < 100; ++i) {
+    EXPECT_FALSE(bits.IsAvailable(i));
+  }
+  bits.SetAvailable(7);
+  EXPECT_TRUE(bits.IsAvailable(7));
+  EXPECT_FALSE(bits.IsAvailable(8));
+}
+
+TEST(DualSenseBitVectorTest, SetNotAvailable) {
+  DualSenseBitVector bits(10);
+  bits.SetAvailable(3);
+  bits.SetNotAvailable(3);
+  EXPECT_FALSE(bits.IsAvailable(3));
+}
+
+TEST(BloomFilterTest, NoFalseNegatives) {
+  BloomFilter bloom(1 << 14);
+  for (uint64_t k = 0; k < 1000; ++k) bloom.Add(k * 7919);
+  for (uint64_t k = 0; k < 1000; ++k) {
+    EXPECT_TRUE(bloom.MayContain(k * 7919)) << k;
+  }
+}
+
+TEST(BloomFilterTest, LowFalsePositiveRate) {
+  BloomFilter bloom(1 << 16);
+  for (uint64_t k = 0; k < 1000; ++k) bloom.Add(k);
+  int fp = 0;
+  for (uint64_t k = 1000000; k < 1010000; ++k) {
+    if (bloom.MayContain(k)) ++fp;
+  }
+  // 64K bits / 1000 keys with k=4 => well under 1% expected.
+  EXPECT_LT(fp, 200);
+}
+
+TEST(BloomFilterTest, ClearAll) {
+  BloomFilter bloom(1 << 10);
+  bloom.Add(42);
+  EXPECT_TRUE(bloom.MayContain(42));
+  bloom.ClearAll();
+  EXPECT_FALSE(bloom.MayContain(42));
+}
+
+TEST(RngTest, DeterministicGivenSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+  Rng c(124);
+  EXPECT_NE(a.Next(), c.Next());
+}
+
+TEST(RngTest, UniformInRange) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    uint64_t v = rng.UniformRange(10, 20);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 20u);
+  }
+}
+
+TEST(RngTest, BernoulliRoughlyCalibrated) {
+  Rng rng(9);
+  int hits = 0;
+  for (int i = 0; i < 100000; ++i) {
+    if (rng.Bernoulli(0.1)) ++hits;
+  }
+  EXPECT_GT(hits, 8500);
+  EXPECT_LT(hits, 11500);
+}
+
+TEST(ZipfTest, BoundedAndSkewed) {
+  Rng rng(3);
+  ZipfGenerator zipf(10000, 0.9);
+  uint64_t head_hits = 0;
+  for (int i = 0; i < 20000; ++i) {
+    uint64_t v = zipf.Next(rng);
+    ASSERT_LT(v, 10000u);
+    if (v < 100) ++head_hits;
+  }
+  // With theta=0.9 the top 1% of keys should draw far more than 1% of
+  // accesses.
+  EXPECT_GT(head_hits, 20000 / 20);
+}
+
+TEST(HotSetChooserTest, WritesConfinedToHotSet) {
+  Rng rng(4);
+  HotSetChooser chooser(100000, 0.1);
+  EXPECT_EQ(chooser.hot_size(), 10000u);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(chooser.NextWriteKey(rng), 10000u);
+    EXPECT_LT(chooser.NextReadKey(rng), 100000u);
+  }
+}
+
+TEST(HistogramTest, PercentilesOrdered) {
+  Histogram h;
+  for (int i = 1; i <= 1000; ++i) h.Record(i);
+  EXPECT_EQ(h.count(), 1000u);
+  int64_t p50 = h.PercentileUs(0.50);
+  int64_t p99 = h.PercentileUs(0.99);
+  EXPECT_LE(p50, p99);
+  EXPECT_NEAR(static_cast<double>(p50), 500.0, 60.0);
+  EXPECT_NEAR(static_cast<double>(p99), 990.0, 100.0);
+}
+
+TEST(HistogramTest, CdfMonotone) {
+  Histogram h;
+  for (int i = 0; i < 1000; ++i) h.Record(i);
+  std::vector<double> cdf = h.CdfAt({10, 100, 500, 2000});
+  EXPECT_LE(cdf[0], cdf[1]);
+  EXPECT_LE(cdf[1], cdf[2]);
+  EXPECT_LE(cdf[2], cdf[3]);
+  EXPECT_NEAR(cdf[3], 1.0, 1e-9);
+}
+
+TEST(HistogramTest, MeanAndReset) {
+  Histogram h;
+  h.Record(100);
+  h.Record(300);
+  EXPECT_NEAR(h.MeanUs(), 200.0, 1e-9);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.PercentileUs(0.5), 0);
+}
+
+TEST(Crc32Test, KnownVector) {
+  // CRC-32 of "123456789" is 0xCBF43926.
+  EXPECT_EQ(Crc32("123456789", 9), 0xCBF43926u);
+}
+
+TEST(Crc32Test, SeedChaining) {
+  const char* data = "hello world";
+  uint32_t whole = Crc32(data, 11);
+  uint32_t part = Crc32(data, 5);
+  part = Crc32(data + 5, 6, part);
+  EXPECT_EQ(whole, part);
+}
+
+TEST(Crc32Test, DetectsCorruption) {
+  std::string data = "some checkpoint bytes";
+  uint32_t crc = Crc32(data.data(), data.size());
+  data[3] ^= 1;
+  EXPECT_NE(Crc32(data.data(), data.size()), crc);
+}
+
+}  // namespace
+}  // namespace calcdb

@@ -1,0 +1,387 @@
+// Tests for the microbenchmark and TPC-C workloads, and the drivers.
+
+#include <memory>
+#include <set>
+
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+#include "workload/microbench.h"
+#include "workload/tpcc.h"
+
+namespace calcdb {
+namespace {
+
+using testing_util::TempDir;
+
+// ---- Microbenchmark ---------------------------------------------------
+
+TEST(MicrobenchTest, InitialValueDeterministic) {
+  EXPECT_EQ(MicrobenchInitialValue(42, 100),
+            MicrobenchInitialValue(42, 100));
+  EXPECT_NE(MicrobenchInitialValue(42, 100),
+            MicrobenchInitialValue(43, 100));
+  EXPECT_EQ(MicrobenchInitialValue(1, 64).size(), 64u);
+}
+
+TEST(MicrobenchTest, GeneratorDeterministicGivenSeed) {
+  MicrobenchConfig config;
+  config.num_records = 1000;
+  MicrobenchWorkload w1(config), w2(config);
+  Rng r1(9), r2(9);
+  for (int i = 0; i < 100; ++i) {
+    TxnRequest a = w1.Next(r1);
+    TxnRequest b = w2.Next(r2);
+    EXPECT_EQ(a.proc_id, b.proc_id);
+    EXPECT_EQ(a.args, b.args);
+  }
+}
+
+TEST(MicrobenchTest, RmwTouchesDistinctKeysInHotSet) {
+  MicrobenchConfig config;
+  config.num_records = 10000;
+  config.hot_fraction = 0.1;
+  config.ops_per_txn = 10;
+  MicrobenchWorkload workload(config);
+  Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    TxnRequest req = workload.Next(rng);
+    ASSERT_EQ(req.proc_id, kRmwProcId);
+    KeySets sets;
+    RmwProcedure proc(100);
+    proc.GetKeys(req.args, &sets);
+    ASSERT_EQ(sets.write_keys.size(), 10u);
+    std::set<uint64_t> distinct(sets.write_keys.begin(),
+                                sets.write_keys.end());
+    EXPECT_EQ(distinct.size(), 10u);
+    for (uint64_t k : sets.write_keys) {
+      EXPECT_LT(k, 1000u);  // hot set = 10% of 10000
+    }
+  }
+}
+
+TEST(MicrobenchTest, LongTxnFractionRespected) {
+  MicrobenchConfig config;
+  config.num_records = 10000;
+  config.long_txn_fraction = 0.05;
+  config.long_txn_keys = 50;
+  config.long_txn_duration_us = 0;
+  MicrobenchWorkload workload(config);
+  Rng rng(5);
+  int longs = 0;
+  for (int i = 0; i < 5000; ++i) {
+    if (workload.Next(rng).proc_id == kBatchWriteProcId) ++longs;
+  }
+  EXPECT_GT(longs, 150);
+  EXPECT_LT(longs, 400);
+}
+
+TEST(MicrobenchTest, RmwExecutesAndMutates) {
+  TempDir dir;
+  Options options;
+  options.max_records = 2048;
+  options.algorithm = CheckpointAlgorithm::kNone;
+  options.checkpoint_dir = dir.path();
+  std::unique_ptr<Database> db;
+  ASSERT_TRUE(Database::Open(options, &db).ok());
+  MicrobenchConfig config;
+  config.num_records = 100;
+  config.value_size = 100;
+  ASSERT_TRUE(SetupMicrobench(db.get(), config).ok());
+  ASSERT_TRUE(db->Start().ok());
+
+  uint64_t keys[3] = {1, 2, 3};
+  std::string before;
+  ASSERT_TRUE(db->Read(1, &before).ok());
+  ASSERT_TRUE(db->executor()
+                  ->Execute(kRmwProcId, RmwProcedure::MakeArgs(keys, 3), 0)
+                  .ok());
+  std::string after;
+  ASSERT_TRUE(db->Read(1, &after).ok());
+  EXPECT_EQ(after.size(), before.size());
+  EXPECT_NE(after, before);
+}
+
+TEST(MicrobenchTest, BatchWriteStretchesDuration) {
+  TempDir dir;
+  Options options;
+  options.max_records = 2048;
+  options.algorithm = CheckpointAlgorithm::kNone;
+  options.checkpoint_dir = dir.path();
+  std::unique_ptr<Database> db;
+  ASSERT_TRUE(Database::Open(options, &db).ok());
+  MicrobenchConfig config;
+  config.num_records = 200;
+  ASSERT_TRUE(SetupMicrobench(db.get(), config).ok());
+  ASSERT_TRUE(db->Start().ok());
+  Stopwatch sw;
+  ASSERT_TRUE(db->executor()
+                  ->Execute(kBatchWriteProcId,
+                            BatchWriteProcedure::MakeArgs(0, 100, 100000, 1),
+                            0)
+                  .ok());
+  EXPECT_GE(sw.ElapsedMicros(), 90000);
+}
+
+// ---- Drivers ----------------------------------------------------------
+
+TEST(DriverTest, ClosedLoopCommitsAndRecords) {
+  TempDir dir;
+  Options options;
+  options.max_records = 4096;
+  options.algorithm = CheckpointAlgorithm::kNone;
+  options.checkpoint_dir = dir.path();
+  std::unique_ptr<Database> db;
+  ASSERT_TRUE(Database::Open(options, &db).ok());
+  MicrobenchConfig config;
+  config.num_records = 1000;
+  config.ops_per_txn = 4;
+  ASSERT_TRUE(SetupMicrobench(db.get(), config).ok());
+  ASSERT_TRUE(db->Start().ok());
+
+  MicrobenchWorkload workload(config);
+  RunMetrics metrics(60);
+  ClosedLoopDriver driver(db->executor(), &workload, &metrics, 2);
+  driver.Start();
+  SleepMicros(300000);
+  driver.Stop();
+  EXPECT_GT(metrics.throughput.total(), 100u);
+  EXPECT_EQ(metrics.latency.count(), metrics.throughput.total());
+  EXPECT_EQ(db->executor()->committed(), metrics.throughput.total());
+}
+
+TEST(DriverTest, OpenLoopApproximatesTargetRate) {
+  TempDir dir;
+  Options options;
+  options.max_records = 4096;
+  options.algorithm = CheckpointAlgorithm::kNone;
+  options.checkpoint_dir = dir.path();
+  std::unique_ptr<Database> db;
+  ASSERT_TRUE(Database::Open(options, &db).ok());
+  MicrobenchConfig config;
+  config.num_records = 1000;
+  config.ops_per_txn = 2;
+  ASSERT_TRUE(SetupMicrobench(db.get(), config).ok());
+  ASSERT_TRUE(db->Start().ok());
+
+  MicrobenchWorkload workload(config);
+  RunMetrics metrics(60);
+  OpenLoopDriver driver(db->executor(), &workload, &metrics, 2,
+                        /*target_rate=*/500.0);
+  driver.Start();
+  SleepMicros(1000000);
+  driver.Stop();
+  // ~500 tx in 1s; allow wide tolerance on a loaded CI box.
+  EXPECT_GT(metrics.throughput.total(), 200u);
+  EXPECT_LT(metrics.throughput.total(), 900u);
+}
+
+// ---- TPC-C --------------------------------------------------------------
+
+std::unique_ptr<Database> OpenTpccDb(const std::string& dir,
+                                     const tpcc::TpccConfig& config) {
+  Options options;
+  options.max_records = tpcc::InitialRecordCount(config) + 100000;
+  options.algorithm = CheckpointAlgorithm::kNone;
+  options.checkpoint_dir = dir;
+  std::unique_ptr<Database> db;
+  EXPECT_TRUE(Database::Open(options, &db).ok());
+  EXPECT_TRUE(tpcc::SetupTpcc(db.get(), config).ok());
+  EXPECT_TRUE(db->Start().ok());
+  return db;
+}
+
+tpcc::TpccConfig TinyTpcc() {
+  tpcc::TpccConfig config;
+  config.num_warehouses = 2;
+  config.districts_per_warehouse = 3;
+  config.customers_per_district = 20;
+  config.num_items = 50;
+  config.initial_orders_per_district = 0;  // orders start at o_id 1
+  return config;
+}
+
+TEST(TpccTest, LoaderPopulatesAllTables) {
+  TempDir dir;
+  tpcc::TpccConfig config = TinyTpcc();
+  auto db = OpenTpccDb(dir.path(), config);
+  EXPECT_EQ(db->store()->CountPresent(),
+            tpcc::InitialRecordCount(config));
+  std::string buf;
+  ASSERT_TRUE(db->Read(tpcc::WarehouseKey(1), &buf).ok());
+  tpcc::WarehouseRow warehouse;
+  ASSERT_TRUE(tpcc::ParseRow(buf, &warehouse).ok());
+  EXPECT_GE(warehouse.w_tax, 0.0);
+  EXPECT_LE(warehouse.w_tax, 0.2);
+  ASSERT_TRUE(db->Read(tpcc::DistrictKey(2, 3), &buf).ok());
+  tpcc::DistrictRow district;
+  ASSERT_TRUE(tpcc::ParseRow(buf, &district).ok());
+  EXPECT_EQ(district.d_next_o_id, 1u);
+  ASSERT_TRUE(db->Read(tpcc::StockKey(2, 50), &buf).ok());
+  EXPECT_TRUE(db->Read(tpcc::ItemKey(51), &buf).IsNotFound());
+}
+
+TEST(TpccTest, NewOrderInsertsRowsAndAdvancesDistrict) {
+  TempDir dir;
+  tpcc::TpccConfig config = TinyTpcc();
+  auto db = OpenTpccDb(dir.path(), config);
+
+  tpcc::NewOrderArgs args{};
+  args.w_id = 1;
+  args.d_id = 1;
+  args.c_id = 5;
+  args.ol_cnt = 5;
+  args.entry_d = 12345;
+  for (uint32_t i = 0; i < args.ol_cnt; ++i) {
+    args.lines[i] = {i + 1, 1, 3};
+  }
+  ASSERT_TRUE(db->executor()
+                  ->Execute(tpcc::kNewOrderProcId, args.Serialize(), 0)
+                  .ok());
+
+  std::string buf;
+  ASSERT_TRUE(db->Read(tpcc::DistrictKey(1, 1), &buf).ok());
+  tpcc::DistrictRow district;
+  ASSERT_TRUE(tpcc::ParseRow(buf, &district).ok());
+  EXPECT_EQ(district.d_next_o_id, 2u);
+
+  ASSERT_TRUE(db->Read(tpcc::OrderKey(1, 1, 1), &buf).ok());
+  tpcc::OrderRow order;
+  ASSERT_TRUE(tpcc::ParseRow(buf, &order).ok());
+  EXPECT_EQ(order.o_c_id, 5u);
+  EXPECT_EQ(order.o_ol_cnt, 5u);
+  EXPECT_EQ(order.o_all_local, 1u);
+  EXPECT_TRUE(db->Read(tpcc::NewOrderKey(1, 1, 1), &buf).ok());
+  for (uint32_t i = 0; i < 5; ++i) {
+    ASSERT_TRUE(db->Read(tpcc::OrderLineKey(1, 1, 1, i), &buf).ok());
+    tpcc::OrderLineRow ol;
+    ASSERT_TRUE(tpcc::ParseRow(buf, &ol).ok());
+    EXPECT_EQ(ol.ol_quantity, 3u);
+    EXPECT_GT(ol.ol_amount, 0.0);
+  }
+  // Stock decremented (or wrapped) and counters bumped.
+  ASSERT_TRUE(db->Read(tpcc::StockKey(1, 1), &buf).ok());
+  tpcc::StockRow stock;
+  ASSERT_TRUE(tpcc::ParseRow(buf, &stock).ok());
+  EXPECT_EQ(stock.s_order_cnt, 1u);
+  EXPECT_EQ(stock.s_ytd, 3.0);
+}
+
+TEST(TpccTest, NewOrderAbortsOnInvalidItem) {
+  TempDir dir;
+  tpcc::TpccConfig config = TinyTpcc();
+  auto db = OpenTpccDb(dir.path(), config);
+  tpcc::NewOrderArgs args{};
+  args.w_id = 1;
+  args.d_id = 2;
+  args.c_id = 1;
+  args.ol_cnt = 5;
+  for (uint32_t i = 0; i < args.ol_cnt; ++i) {
+    args.lines[i] = {i + 1, 1, 1};
+  }
+  args.lines[4].i_id = tpcc::kInvalidItemId;
+  EXPECT_TRUE(db->executor()
+                  ->Execute(tpcc::kNewOrderProcId, args.Serialize(), 0)
+                  .IsAborted());
+  // The abort left no partial writes behind.
+  std::string buf;
+  ASSERT_TRUE(db->Read(tpcc::DistrictKey(1, 2), &buf).ok());
+  tpcc::DistrictRow district;
+  ASSERT_TRUE(tpcc::ParseRow(buf, &district).ok());
+  EXPECT_EQ(district.d_next_o_id, 1u);
+  EXPECT_TRUE(db->Read(tpcc::OrderKey(1, 2, 1), &buf).IsNotFound());
+}
+
+TEST(TpccTest, PaymentMoneyConservation) {
+  TempDir dir;
+  tpcc::TpccConfig config = TinyTpcc();
+  auto db = OpenTpccDb(dir.path(), config);
+
+  std::string buf;
+  ASSERT_TRUE(db->Read(tpcc::WarehouseKey(1), &buf).ok());
+  tpcc::WarehouseRow before_w;
+  ASSERT_TRUE(tpcc::ParseRow(buf, &before_w).ok());
+  ASSERT_TRUE(db->Read(tpcc::CustomerKey(1, 1, 7), &buf).ok());
+  tpcc::CustomerRow before_c;
+  ASSERT_TRUE(tpcc::ParseRow(buf, &before_c).ok());
+
+  tpcc::PaymentArgs args{};
+  args.w_id = 1;
+  args.d_id = 1;
+  args.c_w_id = 1;
+  args.c_d_id = 1;
+  args.c_id = 7;
+  args.amount = 123.45;
+  args.h_seq = 1;
+  ASSERT_TRUE(db->executor()
+                  ->Execute(tpcc::kPaymentProcId, args.Serialize(), 0)
+                  .ok());
+
+  ASSERT_TRUE(db->Read(tpcc::WarehouseKey(1), &buf).ok());
+  tpcc::WarehouseRow after_w;
+  ASSERT_TRUE(tpcc::ParseRow(buf, &after_w).ok());
+  EXPECT_NEAR(after_w.w_ytd - before_w.w_ytd, 123.45, 1e-9);
+  ASSERT_TRUE(db->Read(tpcc::CustomerKey(1, 1, 7), &buf).ok());
+  tpcc::CustomerRow after_c;
+  ASSERT_TRUE(tpcc::ParseRow(buf, &after_c).ok());
+  EXPECT_NEAR(before_c.c_balance - after_c.c_balance, 123.45, 1e-9);
+  EXPECT_EQ(after_c.c_payment_cnt, before_c.c_payment_cnt + 1);
+  ASSERT_TRUE(db->Read(tpcc::HistoryKey(1, 1), &buf).ok());
+  tpcc::HistoryRow history;
+  ASSERT_TRUE(tpcc::ParseRow(buf, &history).ok());
+  EXPECT_NEAR(history.h_amount, 123.45, 1e-9);
+}
+
+TEST(TpccTest, GeneratedMixRunsWithExpectedAbortRate) {
+  TempDir dir;
+  tpcc::TpccConfig config = TinyTpcc();
+  auto db = OpenTpccDb(dir.path(), config);
+  tpcc::TpccWorkload workload(config);
+  Rng rng(17);
+  int aborted = 0;
+  const int kTxns = 2000;
+  for (int i = 0; i < kTxns; ++i) {
+    TxnRequest req = workload.Next(rng);
+    Status st =
+        db->executor()->Execute(req.proc_id, std::move(req.args), 0);
+    if (st.IsAborted()) {
+      ++aborted;
+    } else {
+      ASSERT_TRUE(st.ok()) << st.ToString();
+    }
+  }
+  // ~1% of the ~50% NewOrders abort on the invalid item: ~0.5% overall.
+  EXPECT_GT(aborted, 0);
+  EXPECT_LT(aborted, kTxns / 20);
+}
+
+TEST(TpccTest, DistrictYtdMatchesPaymentSum) {
+  TempDir dir;
+  tpcc::TpccConfig config = TinyTpcc();
+  auto db = OpenTpccDb(dir.path(), config);
+  double expected = 0;
+  std::string buf;
+  ASSERT_TRUE(db->Read(tpcc::DistrictKey(1, 1), &buf).ok());
+  tpcc::DistrictRow district;
+  ASSERT_TRUE(tpcc::ParseRow(buf, &district).ok());
+  expected = district.d_ytd;
+  for (int i = 0; i < 50; ++i) {
+    tpcc::PaymentArgs args{};
+    args.w_id = 1;
+    args.d_id = 1;
+    args.c_w_id = 1;
+    args.c_d_id = 1;
+    args.c_id = static_cast<uint32_t>(1 + i % 20);
+    args.amount = 10.0 + i;
+    args.h_seq = static_cast<uint64_t>(100 + i);
+    ASSERT_TRUE(db->executor()
+                    ->Execute(tpcc::kPaymentProcId, args.Serialize(), 0)
+                    .ok());
+    expected += args.amount;
+  }
+  ASSERT_TRUE(db->Read(tpcc::DistrictKey(1, 1), &buf).ok());
+  ASSERT_TRUE(tpcc::ParseRow(buf, &district).ok());
+  EXPECT_NEAR(district.d_ytd, expected, 1e-6);
+}
+
+}  // namespace
+}  // namespace calcdb
