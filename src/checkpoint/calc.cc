@@ -209,7 +209,8 @@ Status CalcCheckpointer::CaptureAll(uint32_t slot_limit,
 
 Status CalcCheckpointer::CapturePartial(uint32_t slot_limit,
                                         CheckpointFileWriter* writer) {
-  DirtyKeyTracker& dirty = *dirty_[capture_parity_.load()];
+  DirtyKeyTracker& dirty =
+      *dirty_[capture_parity_.load(std::memory_order_acquire)];
   Status st;
   dirty.ForEach(slot_limit, [&](uint32_t idx) {
     if (!st.ok()) return;
@@ -298,7 +299,7 @@ Status CalcCheckpointer::RunCheckpointCycle() {
   WaitForDrain({Phase::kPrepare, Phase::kResolve, Phase::kCapture});
 
   if (options_.partial) {
-    dirty_[capture_parity_.load()]->Clear();
+    dirty_[capture_parity_.load(std::memory_order_acquire)]->Clear();
   }
   active_cycle_.store(0, std::memory_order_release);
 

@@ -37,8 +37,8 @@ void CheckpointStorage::Register(const CheckpointInfo& info) {
             [](const CheckpointInfo& a, const CheckpointInfo& b) {
               return a.id < b.id;
             });
-  uint64_t next = next_id_.load();
-  if (info.id > next) next_id_.store(info.id);
+  uint64_t next = next_id_.load(std::memory_order_relaxed);
+  if (info.id > next) next_id_.store(info.id, std::memory_order_relaxed);
 }
 
 std::vector<CheckpointInfo> CheckpointStorage::List() const {
@@ -147,7 +147,7 @@ Status CheckpointStorage::LoadManifest() {
   for (const CheckpointInfo& c : checkpoints_) {
     if (c.id > max_id) max_id = c.id;
   }
-  next_id_.store(max_id);
+  next_id_.store(max_id, std::memory_order_relaxed);
   return Status::OK();
 }
 

@@ -40,7 +40,9 @@ class CheckpointStorage {
   Status Init();
 
   /// Allocates the next checkpoint id.
-  uint64_t NextId() { return next_id_.fetch_add(1) + 1; }
+  uint64_t NextId() {
+    return next_id_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
 
   /// File path for a checkpoint id.
   std::string PathFor(uint64_t id, CheckpointType type) const;

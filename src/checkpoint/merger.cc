@@ -2,6 +2,7 @@
 
 #include <map>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "checkpoint/ckpt_file.h"
@@ -67,7 +68,7 @@ Status CheckpointMerger::CollapseOnce(size_t max_partials,
 }
 
 void CheckpointMerger::StartBackground(size_t trigger_batch, int poll_ms) {
-  if (running_.exchange(true)) return;
+  if (running_.exchange(true, std::memory_order_acq_rel)) return;
   thread_ = std::thread([this, trigger_batch, poll_ms] {
     while (running_.load(std::memory_order_acquire)) {
       std::vector<CheckpointInfo> chain = storage_->RecoveryChain();
@@ -82,7 +83,7 @@ void CheckpointMerger::StartBackground(size_t trigger_batch, int poll_ms) {
 }
 
 void CheckpointMerger::StopBackground() {
-  if (!running_.exchange(false)) return;
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
   if (thread_.joinable()) thread_.join();
 }
 

@@ -53,6 +53,12 @@ class PhaseController {
     return static_cast<Phase>(phase_.load(std::memory_order_acquire));
   }
 
+  /// Writes the global phase. Within src/ this must only be called from
+  /// CommitLog::AppendPhaseTransition while the commit-log latch is held —
+  /// the atomicity of "token in log" and "phase visible" is what makes a
+  /// transaction's position relative to the virtual point of consistency
+  /// unambiguous (paper §2.2). tools/lint_concurrency.py enforces the
+  /// call-site restriction.
   void SetPhase(Phase p) {
     phase_.store(static_cast<uint8_t>(p), std::memory_order_release);
   }

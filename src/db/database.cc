@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cctype>
 #include <cstdio>
+#include <thread>
 
 #include "storage/memory_tracker.h"
 #include "util/clock.h"
@@ -266,7 +267,7 @@ Status Database::StartPeriodicCheckpoints(int interval_ms) {
   if (options_.algorithm == CheckpointAlgorithm::kNone) {
     return Status::InvalidArgument("no checkpointer configured");
   }
-  if (periodic_running_.exchange(true)) {
+  if (periodic_running_.exchange(true, std::memory_order_acq_rel)) {
     return Status::InvalidArgument("periodic checkpoints already running");
   }
   periodic_thread_ = std::thread([this, interval_ms] {
@@ -288,7 +289,9 @@ Status Database::StartPeriodicCheckpoints(int interval_ms) {
 }
 
 void Database::StopPeriodicCheckpoints() {
-  if (!periodic_running_.exchange(false)) return;
+  if (!periodic_running_.exchange(false, std::memory_order_acq_rel)) {
+    return;
+  }
   if (periodic_thread_.joinable()) periodic_thread_.join();
 }
 
@@ -330,7 +333,8 @@ std::string Database::GetStatsString() const {
   if (streamer_ != nullptr) {
     line("commandlog.persisted_lsn", streamer_->persisted_lsn());
   }
-  line("checkpoint.periodic_done", periodic_done_.load());
+  line("checkpoint.periodic_done",
+       periodic_done_.load(std::memory_order_relaxed));
   return out;
 }
 

@@ -1,12 +1,16 @@
 #include "log/command_log_streamer.h"
 
+#include <thread>
+
 #include "util/clock.h"
 
 namespace calcdb {
 
 Status CommandLogStreamer::Start(const std::string& path,
                                  int flush_interval_ms) {
-  if (running_.exchange(true)) return Status::InvalidArgument("running");
+  if (running_.exchange(true, std::memory_order_acq_rel)) {
+    return Status::InvalidArgument("running");
+  }
   CALCDB_RETURN_NOT_OK(writer_.Open(path, /*max_bytes_per_sec=*/0));
   persisted_lsn_.store(0, std::memory_order_release);
   background_status_ = Status::OK();
@@ -37,7 +41,9 @@ Status CommandLogStreamer::FlushUpTo(uint64_t target_lsn) {
 }
 
 Status CommandLogStreamer::Stop() {
-  if (!running_.exchange(false)) return Status::OK();
+  if (!running_.exchange(false, std::memory_order_acq_rel)) {
+    return Status::OK();
+  }
   if (thread_.joinable()) thread_.join();
   CALCDB_RETURN_NOT_OK(background_status_);
   // Final drain: everything committed before Stop is durable afterwards.

@@ -31,6 +31,10 @@ Value* Value::Create(std::string_view data, ValuePool* pool) {
 
 void Value::Unref(Value* v) {
   if (v == nullptr) return;
+  // acq_rel is load-bearing (see the invariant comment in value.h): with a
+  // plain `release` decrement the freeing thread would not synchronize
+  // with other threads' final reads of the buffer, and with `relaxed` not
+  // even this thread's reads would be ordered before a concurrent free.
   if (v->refs_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
     ValuePool* pool = v->pool_;
     uint32_t alloc_size = v->alloc_size_;
@@ -48,7 +52,10 @@ void Value::Unref(Value* v) {
 ValuePool::ValuePool() = default;
 
 ValuePool::~ValuePool() {
+  // Teardown is single-threaded, but latching keeps the GUARDED_BY
+  // contract uniform (and is free without contention).
   for (auto& cls : classes_) {
+    SpinLatchGuard guard(cls.latch);
     FreeNode* node = cls.head;
     while (node != nullptr) {
       FreeNode* next = node->next;
@@ -118,7 +125,7 @@ void ValuePool::Release(void* block, uint32_t alloc_size) {
 size_t ValuePool::FreeBlocks() const {
   size_t n = 0;
   for (const auto& cls : classes_) {
-    SpinLatchGuard guard(const_cast<SpinLatch&>(cls.latch));
+    SpinLatchGuard guard(cls.latch);
     FreeNode* node = cls.head;
     while (node != nullptr) {
       ++n;

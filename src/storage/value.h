@@ -8,6 +8,7 @@
 #include <string_view>
 
 #include "util/latch.h"
+#include "util/thread_annotations.h"
 
 namespace calcdb {
 
@@ -31,12 +32,24 @@ class Value {
   static Value* Create(std::string_view data, ValuePool* pool = nullptr);
 
   /// Increments the refcount.
+  ///
+  /// `relaxed` is sufficient: the caller already holds a reference (or the
+  /// record micro-latch that protects the pointer it read `v` from), so
+  /// the count cannot concurrently reach zero, and an increment publishes
+  /// nothing that a later reader needs to observe.
   static Value* Ref(Value* v) {
     if (v != nullptr) v->refs_.fetch_add(1, std::memory_order_relaxed);
     return v;
   }
 
   /// Decrements the refcount and frees at zero.
+  ///
+  /// Ordering invariant (enforced by tools/lint_concurrency.py): the
+  /// decrement must be `memory_order_acq_rel` or stronger. The release
+  /// half makes this thread's reads of the buffer happen-before the
+  /// decrement; the acquire half makes the freeing thread (the one that
+  /// observes the count hit zero) synchronize with every earlier
+  /// decrement, so no thread's reads of `data()` can overlap the free.
   static void Unref(Value* v);
 
   std::string_view data() const {
@@ -88,8 +101,9 @@ class ValuePool {
     uint32_t alloc_size;
   };
   struct alignas(64) SizeClass {
-    SpinLatch latch;
-    FreeNode* head = nullptr;
+    // Mutable so const traversals (FreeBlocks) can latch without casts.
+    mutable SpinLatch latch;
+    FreeNode* head CALCDB_GUARDED_BY(latch) = nullptr;
   };
 
   static constexpr int kNumClasses = 9;  // 32, 64, 128, ... 8192 bytes

@@ -17,7 +17,7 @@ ClosedLoopDriver::ClosedLoopDriver(Executor* executor,
 ClosedLoopDriver::~ClosedLoopDriver() { Stop(); }
 
 void ClosedLoopDriver::Start() {
-  if (running_.exchange(true)) return;
+  if (running_.exchange(true, std::memory_order_acq_rel)) return;
   workers_.reserve(static_cast<size_t>(num_workers_));
   for (int i = 0; i < num_workers_; ++i) {
     workers_.emplace_back([this, i] { WorkerLoop(i); });
@@ -25,7 +25,7 @@ void ClosedLoopDriver::Start() {
 }
 
 void ClosedLoopDriver::Stop() {
-  if (!running_.exchange(false)) return;
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
   for (auto& t : workers_) t.join();
   workers_.clear();
 }
@@ -59,9 +59,9 @@ OpenLoopDriver::OpenLoopDriver(Executor* executor,
 OpenLoopDriver::~OpenLoopDriver() { Stop(); }
 
 void OpenLoopDriver::Start() {
-  if (running_.exchange(true)) return;
+  if (running_.exchange(true, std::memory_order_acq_rel)) return;
   schedule_start_us_ = NowMicros();
-  next_arrival_index_.store(0);
+  next_arrival_index_.store(0, std::memory_order_relaxed);
   workers_.reserve(static_cast<size_t>(num_workers_));
   for (int i = 0; i < num_workers_; ++i) {
     workers_.emplace_back([this, i] { WorkerLoop(i); });
@@ -69,7 +69,7 @@ void OpenLoopDriver::Start() {
 }
 
 void OpenLoopDriver::Stop() {
-  if (!running_.exchange(false)) return;
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
   for (auto& t : workers_) t.join();
   workers_.clear();
 }
@@ -78,7 +78,7 @@ void OpenLoopDriver::WorkerLoop(int worker_id) {
   Rng rng(seed_ + static_cast<uint64_t>(worker_id) * 0x9e3779b9ULL);
   const double us_per_txn = 1e6 / target_rate_;
   while (running_.load(std::memory_order_acquire)) {
-    uint64_t index = next_arrival_index_.fetch_add(1);
+    uint64_t index = next_arrival_index_.fetch_add(1, std::memory_order_relaxed);
     int64_t arrival =
         schedule_start_us_ +
         static_cast<int64_t>(static_cast<double>(index) * us_per_txn);

@@ -44,7 +44,8 @@ LockManager::LockSet LockManager::Resolve(const KeySets& sets) const {
   return dedup;
 }
 
-void LockManager::AcquireAll(const LockSet& set) {
+void LockManager::AcquireAll(const LockSet& set)
+    CALCDB_NO_THREAD_SAFETY_ANALYSIS {
   for (const StripeLock& sl : set) {
     if (sl.exclusive) {
       stripes_[sl.stripe].Lock();
@@ -54,7 +55,8 @@ void LockManager::AcquireAll(const LockSet& set) {
   }
 }
 
-void LockManager::ReleaseAll(const LockSet& set) {
+void LockManager::ReleaseAll(const LockSet& set)
+    CALCDB_NO_THREAD_SAFETY_ANALYSIS {
   for (const StripeLock& sl : set) {
     if (sl.exclusive) {
       stripes_[sl.stripe].Unlock();

@@ -50,9 +50,15 @@ class AtomicBitVector {
 
   /// Clears every bit. Not atomic with respect to concurrent setters; the
   /// caller must guarantee quiescence (or use the double-buffered tracker).
+  ///
+  /// Per-word release stores (rather than relaxed stores plus a trailing
+  /// release fence): the per-word form pairs with the acquire loads in
+  /// Get()/Word() so a reader that observes a cleared word also observes
+  /// everything the clearing thread did before ClearAll — and, unlike a
+  /// standalone fence, it is modeled precisely by TSan and satisfies the
+  /// explicit-ordering rule in tools/lint_concurrency.py.
   void ClearAll() {
-    for (auto& w : words_) w.store(0, std::memory_order_relaxed);
-    std::atomic_thread_fence(std::memory_order_release);
+    for (auto& w : words_) w.store(0, std::memory_order_release);
   }
 
   /// Word-level access used by bulk scans (64 bits at a time).

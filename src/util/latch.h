@@ -5,6 +5,8 @@
 #include <cstdint>
 #include <thread>
 
+#include "util/thread_annotations.h"
+
 namespace calcdb {
 
 /// A one-byte test-and-test-and-set spinlock.
@@ -13,13 +15,13 @@ namespace calcdb {
 /// installation, pool freelist pops). Spins with a relaxed read loop and
 /// yields to the scheduler after a bounded number of spins so that the
 /// algorithms remain live on machines with few cores.
-class SpinLatch {
+class CALCDB_CAPABILITY("mutex") SpinLatch {
  public:
   SpinLatch() = default;
   SpinLatch(const SpinLatch&) = delete;
   SpinLatch& operator=(const SpinLatch&) = delete;
 
-  void Lock() {
+  void Lock() CALCDB_ACQUIRE() {
     int spins = 0;
     while (flag_.exchange(1, std::memory_order_acquire) != 0) {
       while (flag_.load(std::memory_order_relaxed) != 0) {
@@ -31,11 +33,13 @@ class SpinLatch {
     }
   }
 
-  bool TryLock() {
+  bool TryLock() CALCDB_TRY_ACQUIRE(true) {
     return flag_.exchange(1, std::memory_order_acquire) == 0;
   }
 
-  void Unlock() { flag_.store(0, std::memory_order_release); }
+  void Unlock() CALCDB_RELEASE() {
+    flag_.store(0, std::memory_order_release);
+  }
 
  private:
   static constexpr int kSpinLimit = 64;
@@ -43,10 +47,13 @@ class SpinLatch {
 };
 
 /// RAII guard for SpinLatch.
-class SpinLatchGuard {
+class CALCDB_SCOPED_CAPABILITY SpinLatchGuard {
  public:
-  explicit SpinLatchGuard(SpinLatch& latch) : latch_(latch) { latch_.Lock(); }
-  ~SpinLatchGuard() { latch_.Unlock(); }
+  explicit SpinLatchGuard(SpinLatch& latch) CALCDB_ACQUIRE(latch)
+      : latch_(latch) {
+    latch_.Lock();
+  }
+  ~SpinLatchGuard() CALCDB_RELEASE() { latch_.Unlock(); }
 
   SpinLatchGuard(const SpinLatchGuard&) = delete;
   SpinLatchGuard& operator=(const SpinLatchGuard&) = delete;
@@ -65,19 +72,20 @@ class SpinLatchGuard {
 /// one it is waiting on, so any wait-for cycle would require an infinite
 /// ascending chain of stripe indexes. A writer-intent bit would let a
 /// reader wait on a *waiting* writer and break that argument.
-class RWSpinLock {
+class CALCDB_CAPABILITY("mutex") RWSpinLock {
  public:
   RWSpinLock() = default;
   RWSpinLock(const RWSpinLock&) = delete;
   RWSpinLock& operator=(const RWSpinLock&) = delete;
 
-  void LockShared() {
+  void LockShared() CALCDB_ACQUIRE_SHARED() {
     int spins = 0;
     for (;;) {
       uint32_t cur = state_.load(std::memory_order_relaxed);
       if ((cur & kWriterBit) == 0) {
         if (state_.compare_exchange_weak(cur, cur + kReaderUnit,
-                                         std::memory_order_acquire)) {
+                                         std::memory_order_acquire,
+                                         std::memory_order_relaxed)) {
           return;
         }
       }
@@ -88,17 +96,18 @@ class RWSpinLock {
     }
   }
 
-  void UnlockShared() {
+  void UnlockShared() CALCDB_RELEASE_SHARED() {
     state_.fetch_sub(kReaderUnit, std::memory_order_release);
   }
 
-  void Lock() {
+  void Lock() CALCDB_ACQUIRE() {
     int spins = 0;
     for (;;) {
       uint32_t cur = state_.load(std::memory_order_relaxed);
       if (cur == 0) {
         if (state_.compare_exchange_weak(cur, kWriterBit,
-                                         std::memory_order_acquire)) {
+                                         std::memory_order_acquire,
+                                         std::memory_order_relaxed)) {
           return;
         }
       }
@@ -109,7 +118,9 @@ class RWSpinLock {
     }
   }
 
-  void Unlock() { state_.store(0, std::memory_order_release); }
+  void Unlock() CALCDB_RELEASE() {
+    state_.store(0, std::memory_order_release);
+  }
 
  private:
   static constexpr uint32_t kWriterBit = 1u;

@@ -87,6 +87,7 @@ void SeedDb(Database* db) {
 
 TEST_P(CheckpointConsistencyTest, CheckpointEqualsStateAtPoC) {
   const ConsistencyCase& param = GetParam();
+  CALCDB_SKIP_FORK_UNDER_TSAN(param.algorithm);
   TempDir dir;
   Options options;
   options.max_records = 4096;

@@ -13,8 +13,16 @@ namespace calcdb {
 namespace {
 
 using testing_util::DbToMap;
+using testing_util::ScaledMicros;
+using testing_util::ScaledThreshold;
 using testing_util::StateMap;
 using testing_util::TempDir;
+
+// Progress thresholds assume full-speed execution; scaled-down runs
+// (CALCDB_TEST_SCALE < 1, e.g. under sanitizers) are both shorter *and*
+// slower per op, so they only assert that every moving part made some
+// progress, not how much.
+bool FullScale() { return testing_util::TestScale() >= 1.0; }
 
 TEST(IntegrationSoakTest, EverythingAtOnceThenRecover) {
   TempDir dir;
@@ -48,15 +56,17 @@ TEST(IntegrationSoakTest, EverythingAtOnceThenRecover) {
     RunMetrics metrics(30);
     ClosedLoopDriver driver(db->executor(), &workload, &metrics, 3);
     driver.Start();
-    SleepMicros(2000000);  // ~16 checkpoints, several merges
+    SleepMicros(ScaledMicros(2000000));  // ~16 checkpoints, several merges
     driver.Stop();
     db->StopPeriodicCheckpoints();
 
-    EXPECT_GE(db->periodic_checkpoints_done(), 8u);
+    EXPECT_GE(db->periodic_checkpoints_done(), ScaledThreshold(8));
     ASSERT_NE(db->merger(), nullptr);
-    EXPECT_GE(db->merger()->merges_done(), 1u);
+    if (FullScale()) {
+      EXPECT_GE(db->merger()->merges_done(), 1u);
+    }
     committed = db->executor()->committed();
-    EXPECT_GT(committed, 1000u);
+    EXPECT_GT(committed, FullScale() ? 1000u : 0u);
     pre_crash = DbToMap(db.get());
     // Graceful streamer flush; a crash between flushes would lose at most
     // command_log_flush_ms worth of commits (documented semantics).
@@ -105,10 +115,10 @@ TEST(IntegrationSoakTest, CalcFullPeriodicWithStreamer) {
     RunMetrics metrics(30);
     ClosedLoopDriver driver(db->executor(), &workload, &metrics, 2);
     driver.Start();
-    SleepMicros(800000);
+    SleepMicros(ScaledMicros(800000));
     driver.Stop();
     db->StopPeriodicCheckpoints();
-    EXPECT_GE(db->periodic_checkpoints_done(), 4u);
+    EXPECT_GE(db->periodic_checkpoints_done(), ScaledThreshold(4));
     pre_crash = DbToMap(db.get());
     ASSERT_TRUE(db->Shutdown().ok());
   }

@@ -153,7 +153,7 @@ TEST_P(PropertyStressTest, ConservationReplayAndCheckpointValidity) {
     });
   }
   for (int c = 0; c < 3; ++c) {
-    SleepMicros(15000);
+    SleepMicros(testing_util::ScaledMicros(15000));
     if (param.algorithm != CheckpointAlgorithm::kNone) {
       ASSERT_TRUE(db->Checkpoint().ok());
     }

@@ -148,6 +148,7 @@ class QuiesceBehaviorTest
 
 TEST_P(QuiesceBehaviorTest, GateClosureMatchesAlgorithmClass) {
   const QuiesceCase& param = GetParam();
+  CALCDB_SKIP_FORK_UNDER_TSAN(param.algorithm);
   TempDir dir;
   Options options;
   options.max_records = 1024;

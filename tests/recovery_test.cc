@@ -51,6 +51,7 @@ class RecoveryTest
     : public ::testing::TestWithParam<CheckpointAlgorithm> {};
 
 TEST_P(RecoveryTest, CheckpointPlusReplayRestoresExactState) {
+  CALCDB_SKIP_FORK_UNDER_TSAN(GetParam());
   TempDir dir;
   MicrobenchConfig config = SmallConfig();
   Options options = SmallOptions(dir.path() + "/ckpt", GetParam());
@@ -94,6 +95,7 @@ TEST_P(RecoveryTest, CheckpointOnlyRecoveryLosesOnlyTail) {
   // The NoSQL / K-safety use case (paper §1): recovery without replay
   // restores exactly the state as of the last checkpoint's point of
   // consistency.
+  CALCDB_SKIP_FORK_UNDER_TSAN(GetParam());
   TempDir dir;
   MicrobenchConfig config = SmallConfig();
   Options options = SmallOptions(dir.path() + "/ckpt", GetParam());

@@ -1,0 +1,33 @@
+// Default sanitizer runtime options for the test binary, compiled in via
+// the sanitizers' weak default-options hooks. This is deliberately not
+// done with ctest ENVIRONMENT properties: gtest_discover_tests flattens
+// list-valued properties when forwarding them to the generated
+// set_tests_properties call, silently dropping every entry after the
+// first — and compiled-in defaults also apply when a developer runs
+// ./calcdb_tests by hand. An explicit TSAN_OPTIONS / ASAN_OPTIONS /
+// UBSAN_OPTIONS environment variable still overrides these.
+//
+// The hooks are plain exported functions with reserved names; each is
+// only consulted when the matching runtime is actually linked, so
+// defining all three unconditionally is harmless in any build.
+
+#ifndef CALCDB_TSAN_SUPP_PATH
+#define CALCDB_TSAN_SUPP_PATH ""
+#endif
+
+extern "C" {
+
+// halt_on_error: the suite treats any report as a hard failure.
+// suppressions: tests/tsan.supp — expected to stay empty (see the file).
+const char* __tsan_default_options() {
+  return "suppressions=" CALCDB_TSAN_SUPP_PATH
+         ":halt_on_error=1:second_deadlock_stack=1";
+}
+
+const char* __asan_default_options() {
+  return "detect_stack_use_after_return=1";
+}
+
+const char* __ubsan_default_options() { return "print_stacktrace=1"; }
+
+}  // extern "C"
