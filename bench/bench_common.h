@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "db/database.h"
+#include "obs/obs.h"
 #include "storage/memory_tracker.h"
 #include "txn/driver.h"
 #include "util/clock.h"
@@ -267,6 +268,54 @@ inline void WarmUp(const RunConfig& base) {
   std::printf("warm-up run (discarded)...\n");
   std::fflush(stdout);
   RunMicrobenchExperiment(w);
+}
+
+/// Writes the global metrics-registry snapshot as JSON to `path`,
+/// tagging the snapshot with the bench name. Returns false on I/O
+/// error. With CALCDB_OBS=OFF the instrument sections are empty but
+/// the file is still valid against tools/metrics_schema.json.
+inline bool ExportMetricsJson(const std::string& path,
+                              const std::string& bench_name) {
+  char ts[32];
+  std::snprintf(ts, sizeof(ts), "%lld",
+                static_cast<long long>(NowMicros()));
+  std::string json = obs::MetricsRegistry::Global().SnapshotJson(
+      {{"bench", bench_name}, {"ts_us", ts}});
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  std::fputc('\n', f);
+  int rc = std::fclose(f);
+  return written == json.size() && rc == 0;
+}
+
+/// Standard observability tail for every fig* binary: dumps a metrics
+/// JSON (--metrics_out, default "<bench>_metrics.json"; "none"
+/// disables) and, when --trace_out is set (fig5 defaults it to
+/// trace.json), the Perfetto-loadable trace ring.
+inline void ExportObsArtifacts(const Flags& flags,
+                               const std::string& bench_name,
+                               const std::string& default_trace = "") {
+  std::string metrics_path =
+      flags.Str("metrics_out", bench_name + "_metrics.json");
+  if (metrics_path != "none" && !metrics_path.empty()) {
+    if (ExportMetricsJson(metrics_path, bench_name)) {
+      std::printf("metrics json: %s\n", metrics_path.c_str());
+    } else {
+      std::fprintf(stderr, "failed to write metrics json: %s\n",
+                   metrics_path.c_str());
+    }
+  }
+  std::string trace_path = flags.Str("trace_out", default_trace);
+  if (trace_path != "none" && !trace_path.empty()) {
+    if (obs::Tracer::Global().ExportJson(trace_path)) {
+      std::printf("trace json:   %s (open in https://ui.perfetto.dev)\n",
+                  trace_path.c_str());
+    } else {
+      std::fprintf(stderr, "failed to write trace json: %s\n",
+                   trace_path.c_str());
+    }
+  }
 }
 
 /// Reads the standard scale flags shared by the figure benches.

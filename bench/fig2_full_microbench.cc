@@ -99,5 +99,6 @@ int main(int argc, char** argv) {
   std::string variant = flags.Str("variant", "both");
   if (variant == "a" || variant == "both") RunVariant(flags, false);
   if (variant == "b" || variant == "both") RunVariant(flags, true);
+  ExportObsArtifacts(flags, "fig2_full_microbench");
   return 0;
 }

@@ -98,5 +98,6 @@ int main(int argc, char** argv) {
     }
     pos = comma + 1;
   }
+  ExportObsArtifacts(flags, "fig3_partial_microbench");
   return 0;
 }

@@ -173,5 +173,6 @@ int main(int argc, char** argv) {
               "lose fewer transactions at runtime but leave longer "
               "chains, growing the worst-case recovery merge roughly "
               "linearly (paper §5.1.3).\n");
+  ExportObsArtifacts(flags, "fig4_merge_tradeoff");
   return 0;
 }

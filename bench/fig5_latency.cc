@@ -126,5 +126,6 @@ int main(int argc, char** argv) {
     RunQuadrant(flags, /*long_txns=*/false, load, peak, label++);
     RunQuadrant(flags, /*long_txns=*/true, load, peak, label++);
   }
+  ExportObsArtifacts(flags, "fig5_latency", "trace.json");
   return 0;
 }

@@ -127,5 +127,6 @@ int main(int argc, char** argv) {
     for (double r : s.ratio) peak = std::max(peak, r);
     std::printf("%-10s %11.2fx\n", s.name.c_str(), peak);
   }
+  ExportObsArtifacts(flags, "fig6_memory");
   return 0;
 }

@@ -177,5 +177,6 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(r.committed),
                 static_cast<long long>(lost), pct);
   }
+  ExportObsArtifacts(flags, "fig7_tpcc");
   return 0;
 }

@@ -98,5 +98,6 @@ int main(int argc, char** argv) {
   }
   std::printf("\nlinearity check: duration/records should be constant "
               "across the sweep (disk-bandwidth-bound capture).\n");
+  ExportObsArtifacts(flags, "fig8_scalability");
   return 0;
 }

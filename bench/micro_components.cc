@@ -7,6 +7,7 @@
 
 #include <memory>
 
+#include "bench/bench_common.h"
 #include "checkpoint/ckpt_file.h"
 #include "checkpoint/dirty_tracker.h"
 #include "checkpoint/phase.h"
@@ -181,4 +182,14 @@ BENCHMARK(BM_CheckpointFileWrite)->Unit(benchmark::kMillisecond);
 }  // namespace
 }  // namespace calcdb
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN plus a metrics dump, so even the component
+// microbenches feed the BENCH_*.json trajectory. Unrecognized flags
+// are tolerated (google-benchmark would reject --metrics_out).
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  calcdb::bench::Flags flags(argc, argv);
+  calcdb::bench::ExportObsArtifacts(flags, "micro_components");
+  return 0;
+}

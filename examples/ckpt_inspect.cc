@@ -4,17 +4,27 @@
 //   example_ckpt_inspect <checkpoint_dir>              # manifest overview
 //   example_ckpt_inspect <checkpoint_dir> --verify     # re-read + CRC-check
 //   example_ckpt_inspect <file.full|file.part> --dump  # entry listing
+//   example_ckpt_inspect --demo                        # scratch CALC run +
+//                                                      # live metrics dump
 //
 // Useful for answering, from the shell, the questions a paper reader (or
 // an operator) asks: which checkpoints exist, how large are they, what
-// point of consistency does each represent, is the chain intact.
+// point of consistency does each represent, is the chain intact — and,
+// with --demo, what the engine's checkpoint-phase metrics look like
+// (doubling as a CLI dump of the obs registry; see docs/OBSERVABILITY.md).
 
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
 
 #include "checkpoint/ckpt_file.h"
 #include "checkpoint/ckpt_storage.h"
+#include "db/database.h"
+#include "obs/obs.h"
+#include "util/clock.h"
+#include "util/rng.h"
+#include "workload/microbench.h"
 
 using namespace calcdb;
 
@@ -111,17 +121,100 @@ int DumpFile(const std::string& path) {
   return 0;
 }
 
+// --demo: spin up a scratch database, run a short burst of
+// transactions through two CALC checkpoint cycles, then print the
+// checkpoint-phase metrics the engine recorded — the example doubles
+// as a CLI dump of the obs registry.
+int RunDemo() {
+#if !CALCDB_OBS_ENABLED
+  std::fprintf(stderr,
+               "this binary was built with CALCDB_OBS=OFF; rebuild with "
+               "-DCALCDB_OBS=ON to collect metrics\n");
+  return 1;
+#else
+  obs::MetricsRegistry::Global().ResetForTest();
+
+  Options options;
+  options.max_records = 1 << 16;
+  options.algorithm = CheckpointAlgorithm::kCalc;
+  options.checkpoint_dir = "/tmp/calcdb_ckpt_inspect_demo";
+  options.disk_bytes_per_sec = 0;  // unthrottled: this is a demo
+
+  std::unique_ptr<Database> db;
+  Status st = Database::Open(options, &db);
+  if (!st.ok()) {
+    std::fprintf(stderr, "open: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  MicrobenchConfig config;
+  config.num_records = 20000;
+  config.value_size = 100;
+  st = SetupMicrobench(db.get(), config);
+  if (st.ok()) st = db->Start();
+  if (!st.ok()) {
+    std::fprintf(stderr, "setup: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  std::printf("scratch CALC database: %llu records in %s\n",
+              static_cast<unsigned long long>(config.num_records),
+              options.checkpoint_dir.c_str());
+
+  // Two cycles so the second one runs as a partial capture over a
+  // tracked dirty set, with transactions interleaved before each.
+  Rng rng(config.seed);
+  MicrobenchWorkload workload(config);
+  for (int cycle = 1; cycle <= 2; ++cycle) {
+    for (int i = 0; i < 5000; ++i) {
+      TxnRequest req = workload.Next(rng);
+      db->executor()->Execute(req.proc_id, std::move(req.args),
+                              NowMicros());
+    }
+    st = db->Checkpoint();
+    if (!st.ok()) {
+      std::fprintf(stderr, "checkpoint: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("cycle %d: checkpoint complete (%llu txns committed)\n",
+                cycle,
+                static_cast<unsigned long long>(
+                    db->executor()->committed()));
+  }
+  db->Shutdown();
+
+  // Phase-level view first (the CALC-specific story), then the whole
+  // registry so the example shows everything the engine measured.
+  std::string text = obs::MetricsRegistry::Global().SnapshotText();
+  std::printf("\n--- checkpoint-phase metrics ---\n");
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size();
+    std::string line = text.substr(pos, eol - pos);
+    if (line.find("calcdb.ckpt.") != std::string::npos) {
+      std::printf("%s\n", line.c_str());
+    }
+    pos = eol + 1;
+  }
+  std::printf("\n--- full metrics registry ---\n%s", text.c_str());
+  return 0;
+#endif  // CALCDB_OBS_ENABLED
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: %s <checkpoint_dir> [--verify]\n"
-                 "       %s <checkpoint_file> --dump\n",
-                 argv[0], argv[0]);
+                 "       %s <checkpoint_file> --dump\n"
+                 "       %s --demo\n",
+                 argv[0], argv[0], argv[0]);
     return 1;
   }
   std::string target = argv[1];
+  if (target == "--demo") return RunDemo();
   bool verify = false, dump = false;
   for (int i = 2; i < argc; ++i) {
     if (std::strcmp(argv[i], "--verify") == 0) verify = true;

@@ -122,6 +122,10 @@ class CalcCheckpointer : public Checkpointer {
 
   std::atomic<int64_t> stable_versions_{0};
   std::atomic<uint64_t> peak_stable_versions_{0};
+
+  /// When the current rest period began (end of the previous cycle);
+  /// 0 before the first cycle. Coordinator-thread only.
+  int64_t rest_start_us_ = 0;
 };
 
 }  // namespace calcdb

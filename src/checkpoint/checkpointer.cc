@@ -1,6 +1,38 @@
 #include "checkpoint/checkpointer.h"
 
+#include <string>
+
+#include "obs/obs.h"
+
 namespace calcdb {
+
+void Checkpointer::SetLastCycle(const CheckpointCycleStats& stats) {
+  {
+    SpinLatchGuard guard(stats_latch_);
+    last_cycle_ = stats;
+  }
+#if CALCDB_OBS_ENABLED
+  // Cold path (once per cycle): direct registry lookups with the
+  // algorithm name baked into the metric are fine here.
+  auto& registry = obs::MetricsRegistry::Global();
+  std::string prefix = "calcdb.ckpt.";
+  prefix += name();
+  registry.GetCounter(prefix + ".cycles")->Add(1);
+  registry.GetCounter(prefix + ".records_written")
+      ->Add(stats.records_written);
+  registry.GetCounter(prefix + ".bytes_written")->Add(stats.bytes_written);
+  registry.GetHistogram(prefix + ".total_us")->Record(stats.total_micros);
+  registry.GetHistogram(prefix + ".capture_us")
+      ->Record(stats.capture_micros);
+  if (stats.quiesce_micros > 0) {
+    registry.GetHistogram(prefix + ".quiesce_us")
+        ->Record(stats.quiesce_micros);
+  }
+  CALCDB_COUNTER_ADD("calcdb.ckpt.cycles", 1);
+  CALCDB_COUNTER_ADD("calcdb.ckpt.records_written", stats.records_written);
+  CALCDB_COUNTER_ADD("calcdb.ckpt.bytes_written", stats.bytes_written);
+#endif  // CALCDB_OBS_ENABLED
+}
 
 Value* Checkpointer::ReadRecord(Txn& txn, Record& rec) {
   (void)txn;

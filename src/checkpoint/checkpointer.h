@@ -97,10 +97,10 @@ class Checkpointer {
   }
 
  protected:
-  void SetLastCycle(const CheckpointCycleStats& stats) {
-    SpinLatchGuard guard(stats_latch_);
-    last_cycle_ = stats;
-  }
+  /// Publishes cycle stats and mirrors them into the metrics registry
+  /// (per-algorithm counters + duration histograms). Cold path: runs
+  /// once per checkpoint cycle.
+  void SetLastCycle(const CheckpointCycleStats& stats);
 
   EngineContext engine_;
 

@@ -8,6 +8,7 @@
 #include <unistd.h>
 
 #include "checkpoint/quiesce.h"
+#include "obs/obs.h"
 #include "util/clock.h"
 #include "util/crc32.h"
 
@@ -140,6 +141,7 @@ int ForkSnapshotCheckpointer::ChildWriteSnapshot(int fd, uint32_t slots,
 
 Status ForkSnapshotCheckpointer::RunCheckpointCycle() {
   Stopwatch total;
+  CALCDB_TRACE_SPAN(cycle_span, name(), "ckpt", 0);
   CheckpointCycleStats stats;
   uint64_t id = engine_.ckpt_storage->NextId();
   stats.checkpoint_id = id;

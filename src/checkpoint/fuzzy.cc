@@ -1,6 +1,7 @@
 #include "checkpoint/fuzzy.h"
 
 #include "checkpoint/quiesce.h"
+#include "obs/obs.h"
 #include "util/clock.h"
 #include "util/throttled_file.h"
 
@@ -52,6 +53,7 @@ void FuzzyCheckpointer::OnCommit(Txn& txn) {
 
 Status FuzzyCheckpointer::RunCheckpointCycle() {
   Stopwatch total;
+  CALCDB_TRACE_SPAN(cycle_span, name(), "ckpt", 0);
   CheckpointCycleStats stats;
   uint64_t id = engine_.ckpt_storage->NextId();
   stats.checkpoint_id = id;

@@ -1,6 +1,7 @@
 #include "checkpoint/ipp.h"
 
 #include "checkpoint/quiesce.h"
+#include "obs/obs.h"
 #include "util/clock.h"
 
 namespace calcdb {
@@ -56,6 +57,7 @@ void IppCheckpointer::ApplyWrite(Txn& txn, Record& rec, Value* new_val) {
 
 Status IppCheckpointer::RunCheckpointCycle() {
   Stopwatch total;
+  CALCDB_TRACE_SPAN(cycle_span, name(), "ckpt", 0);
   CheckpointCycleStats stats;
   uint64_t id = engine_.ckpt_storage->NextId();
   stats.checkpoint_id = id;

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "checkpoint/ckpt_file.h"
+#include "obs/obs.h"
 #include "util/clock.h"
 
 namespace calcdb {
@@ -17,6 +18,7 @@ Status CheckpointMerger::CollapseOnce(size_t max_partials,
   // Need at least a (full, partial) pair — or two partials from an
   // empty-start chain — for collapsing to be worthwhile.
   if (chain.size() < 2) return Status::OK();
+  CALCDB_TRACE_SPAN(merge_span, "merge", "ckpt", chain.size());
   size_t take = chain.size() - 1;
   if (take > max_partials) take = max_partials;
 
@@ -63,6 +65,9 @@ Status CheckpointMerger::CollapseOnce(size_t max_partials,
   CALCDB_RETURN_NOT_OK(storage_->ReplaceCollapsed(retired, out));
   CALCDB_RETURN_NOT_OK(storage_->PersistManifest());
   merges_done_.fetch_add(1, std::memory_order_relaxed);
+  CALCDB_COUNTER_ADD("calcdb.ckpt.merges", 1);
+  CALCDB_COUNTER_ADD("calcdb.ckpt.merge_entries_out",
+                     writer.entries_written());
   *did_merge = true;
   return Status::OK();
 }

@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "obs/obs.h"
 #include "util/clock.h"
 
 namespace calcdb {
@@ -114,6 +115,7 @@ void MvccCheckpointer::OnCommit(Txn& txn) {
 
 Status MvccCheckpointer::RunCheckpointCycle() {
   Stopwatch total;
+  CALCDB_TRACE_SPAN(cycle_span, name(), "ckpt", 0);
   CheckpointCycleStats stats;
   uint64_t id = engine_.ckpt_storage->NextId();
   stats.checkpoint_id = id;

@@ -1,6 +1,7 @@
 #include "checkpoint/naive.h"
 
 #include "checkpoint/quiesce.h"
+#include "obs/obs.h"
 #include "util/clock.h"
 
 namespace calcdb {
@@ -35,6 +36,7 @@ void NaiveSnapshotCheckpointer::OnCommit(Txn& txn) {
 
 Status NaiveSnapshotCheckpointer::RunCheckpointCycle() {
   Stopwatch total;
+  CALCDB_TRACE_SPAN(cycle_span, name(), "ckpt", 0);
   CheckpointCycleStats stats;
   uint64_t id = engine_.ckpt_storage->NextId();
   stats.checkpoint_id = id;

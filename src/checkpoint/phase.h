@@ -4,6 +4,8 @@
 #include <atomic>
 #include <cstdint>
 
+#include "obs/probes.h"
+
 namespace calcdb {
 
 /// The five phases of the CALC checkpointing cycle (paper §2.2).
@@ -75,6 +77,7 @@ class PhaseController {
       // a transaction is never counted under a stale phase after the
       // checkpointer has already inspected that counter.
       active_[static_cast<int>(p)].fetch_sub(1, std::memory_order_acq_rel);
+      CALCDB_PROBE_PHASE_RESTART();
     }
   }
 

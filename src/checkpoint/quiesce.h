@@ -4,6 +4,7 @@
 #include <functional>
 
 #include "checkpoint/checkpointer.h"
+#include "obs/obs.h"
 #include "util/clock.h"
 #include "util/status.h"
 
@@ -24,13 +25,16 @@ inline int64_t QuiesceAndRun(const EngineContext& engine,
                              const std::function<Status()>& critical,
                              Status* st) {
   Stopwatch sw;
+  CALCDB_TRACE_SPAN(quiesce_span, "quiesce", "ckpt", 0);
   engine.gate->Close();
   while (engine.phases->TotalActive() > 0) {
     SleepMicros(100);
   }
   *st = critical();
   engine.gate->Open();
-  return sw.ElapsedMicros();
+  int64_t elapsed = sw.ElapsedMicros();
+  CALCDB_HISTOGRAM_RECORD("calcdb.ckpt.quiesce_us", elapsed);
+  return elapsed;
 }
 
 }  // namespace calcdb

@@ -1,6 +1,7 @@
 #include "checkpoint/zigzag.h"
 
 #include "checkpoint/quiesce.h"
+#include "obs/obs.h"
 #include "util/clock.h"
 
 namespace calcdb {
@@ -66,6 +67,7 @@ void ZigzagCheckpointer::OnCommit(Txn& txn) {
 
 Status ZigzagCheckpointer::RunCheckpointCycle() {
   Stopwatch total;
+  CALCDB_TRACE_SPAN(cycle_span, name(), "ckpt", 0);
   CheckpointCycleStats stats;
   uint64_t id = engine_.ckpt_storage->NextId();
   stats.checkpoint_id = id;

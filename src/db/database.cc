@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <thread>
 
+#include "obs/obs.h"
 #include "storage/memory_tracker.h"
 #include "util/clock.h"
 
@@ -94,6 +95,10 @@ Database::~Database() { Shutdown(); }
 Status Database::Shutdown() {
   Status st;
   StopPeriodicCheckpoints();
+  if (stats_reporter_ != nullptr) {
+    stats_reporter_->Stop();
+    stats_reporter_.reset();
+  }
   if (streamer_ != nullptr) {
     st = streamer_->Stop();
     streamer_.reset();
@@ -112,6 +117,24 @@ Status Database::Open(const Options& options,
   }
   std::unique_ptr<Database> out(new Database(options));
   CALCDB_RETURN_NOT_OK(out->ckpt_storage_.Init());
+#if CALCDB_OBS_ENABLED
+  // Callback gauges: externally owned values sampled at snapshot time.
+  auto& registry = obs::MetricsRegistry::Global();
+  registry.RegisterCallbackGauge("calcdb.memory.value_bytes", [] {
+    return MemoryTracker::Global().value_bytes();
+  });
+  registry.RegisterCallbackGauge("calcdb.memory.pool_bytes", [] {
+    return MemoryTracker::Global().pool_bytes();
+  });
+  registry.RegisterCallbackGauge("calcdb.latch.contended_acquires", [] {
+    return static_cast<int64_t>(
+        obs::g_latch_contention.load(std::memory_order_relaxed));
+  });
+  registry.RegisterCallbackGauge("calcdb.txn.phase_restarts", [] {
+    return static_cast<int64_t>(
+        obs::g_phase_restarts.load(std::memory_order_relaxed));
+  });
+#endif  // CALCDB_OBS_ENABLED
   *db = std::move(out);
   return Status::OK();
 }
@@ -253,6 +276,11 @@ Status Database::Start() {
     CALCDB_RETURN_NOT_OK(streamer_->Start(options_.command_log_path,
                                           options_.command_log_flush_ms));
   }
+  if (options_.stats_dump_period_ms > 0) {
+    stats_reporter_ = std::make_unique<obs::StatsReporter>(
+        options_.stats_dump_period_ms, options_.stats_dump_path);
+    stats_reporter_->Start();
+  }
   started_ = true;
   return Status::OK();
 }
@@ -335,6 +363,9 @@ std::string Database::GetStatsString() const {
   }
   line("checkpoint.periodic_done",
        periodic_done_.load(std::memory_order_relaxed));
+#if CALCDB_OBS_ENABLED
+  out += obs::MetricsRegistry::Global().SnapshotText();
+#endif
   return out;
 }
 

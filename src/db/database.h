@@ -14,6 +14,7 @@
 #include "db/options.h"
 #include "log/command_log_streamer.h"
 #include "log/commit_log.h"
+#include "obs/stats_reporter.h"
 #include "recovery/recovery_manager.h"
 #include "storage/kv_store.h"
 #include "txn/executor.h"
@@ -131,6 +132,7 @@ class Database {
   std::unique_ptr<Executor> executor_;
   std::unique_ptr<CheckpointMerger> merger_;
   std::unique_ptr<CommandLogStreamer> streamer_;
+  std::unique_ptr<obs::StatsReporter> stats_reporter_;
   bool started_ = false;
 
   std::atomic<bool> periodic_running_{false};

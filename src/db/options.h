@@ -75,6 +75,13 @@ struct Options {
 
   /// kMvcc only: eagerly free superseded versions (see MvccOptions).
   bool mvcc_eager_gc = false;
+
+  /// Periodic metrics reporter (obs/stats_reporter.h): every
+  /// `stats_dump_period_ms` the registry is snapshotted and appended as
+  /// one JSON line to `stats_dump_path` (empty path: human-readable
+  /// text to stderr). 0 disables the reporter.
+  int64_t stats_dump_period_ms = 0;
+  std::string stats_dump_path;
 };
 
 }  // namespace calcdb

@@ -2,6 +2,7 @@
 
 #include <thread>
 
+#include "obs/obs.h"
 #include "util/clock.h"
 
 namespace calcdb {
@@ -34,8 +35,14 @@ Status CommandLogStreamer::FlushUpTo(uint64_t target_lsn) {
   for (uint64_t lsn = from; lsn < target_lsn; ++lsn) {
     CommitLog::EncodeEntry(log_->Entry(lsn), &batch);
   }
+  CALCDB_TRACE_SPAN(flush_span, "log_flush", "log", target_lsn - from);
+  CALCDB_OBS_ONLY(int64_t flush_start_us = NowMicros();)
   CALCDB_RETURN_NOT_OK(writer_.Append(batch.data(), batch.size()));
   CALCDB_RETURN_NOT_OK(writer_.Flush());
+  CALCDB_HISTOGRAM_RECORD("calcdb.log.fsync_us",
+                          NowMicros() - flush_start_us);
+  CALCDB_COUNTER_ADD("calcdb.log.flushes", 1);
+  CALCDB_COUNTER_ADD("calcdb.log.flushed_bytes", batch.size());
   persisted_lsn_.store(target_lsn, std::memory_order_release);
   return Status::OK();
 }

@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "obs/obs.h"
 #include "util/crc32.h"
 #include "util/throttled_file.h"
 
@@ -17,6 +18,10 @@ uint64_t CommitLog::AppendCommit(uint64_t txn_id, uint32_t proc_id,
   e.txn_id = txn_id;
   e.proc_id = proc_id;
   e.args = std::move(args);
+  CALCDB_COUNTER_ADD("calcdb.log.appends", 1);
+  // Framed size: len + crc + type + txn_id + proc_id + args_len + args.
+  CALCDB_COUNTER_ADD("calcdb.log.bytes",
+                     4 + 4 + 1 + 8 + 4 + 4 + e.args.size());
   SpinLatchGuard guard(latch_);
   if (pc != nullptr && commit_phase != nullptr) {
     *commit_phase = pc->current();
@@ -33,6 +38,12 @@ uint64_t CommitLog::AppendPhaseTransition(
   e.type = LogEntry::Type::kPhaseTransition;
   e.phase = phase;
   e.checkpoint_id = checkpoint_id;
+  CALCDB_COUNTER_ADD("calcdb.log.appends", 1);
+  CALCDB_COUNTER_ADD("calcdb.log.bytes", 4 + 4 + 1 + 1 + 8);
+  if (phase == Phase::kResolve) {
+    CALCDB_COUNTER_ADD("calcdb.log.vpoc_tokens", 1);
+  }
+  CALCDB_TRACE_INSTANT(PhaseName(phase), "phase_token", checkpoint_id);
   SpinLatchGuard guard(latch_);
   if (phase == Phase::kResolve) ++vpoc_count_;
   if (under_latch) under_latch();

@@ -1,0 +1,81 @@
+#ifndef CALCDB_OBS_OBS_H_
+#define CALCDB_OBS_OBS_H_
+
+// Umbrella header for engine instrumentation. Include this (only this)
+// from instrumented code and use the macros below; they compile to
+// nothing when the CMake option CALCDB_OBS is OFF
+// (-DCALCDB_OBS_ENABLED=0), which is how the overhead guard measures
+// the true cost of observability.
+//
+// Hot-path cost when enabled: each macro resolves its instrument once
+// per call site (function-local static pointer; the registry returns
+// stable pointers for the life of the process) and then performs a
+// single relaxed atomic add.
+
+#include "obs/metrics.h"
+#include "obs/probes.h"
+#include "obs/trace.h"
+
+#ifndef CALCDB_OBS_ENABLED
+#define CALCDB_OBS_ENABLED 1
+#endif
+
+#if CALCDB_OBS_ENABLED
+
+// Statement `s` only exists in instrumented builds (timing reads,
+// local span bookkeeping, ...).
+#define CALCDB_OBS_ONLY(...) __VA_ARGS__
+
+#define CALCDB_COUNTER_ADD(name, n)                              \
+  do {                                                           \
+    static ::calcdb::obs::ShardedCounter* obs_counter_ =         \
+        ::calcdb::obs::MetricsRegistry::Global().GetCounter(name); \
+    obs_counter_->Add(n);                                        \
+  } while (0)
+
+#define CALCDB_GAUGE_SET(name, v)                              \
+  do {                                                         \
+    static ::calcdb::obs::Gauge* obs_gauge_ =                  \
+        ::calcdb::obs::MetricsRegistry::Global().GetGauge(name); \
+    obs_gauge_->Set(v);                                        \
+  } while (0)
+
+#define CALCDB_GAUGE_ADD(name, d)                              \
+  do {                                                         \
+    static ::calcdb::obs::Gauge* obs_gauge_ =                  \
+        ::calcdb::obs::MetricsRegistry::Global().GetGauge(name); \
+    obs_gauge_->Add(d);                                        \
+  } while (0)
+
+#define CALCDB_HISTOGRAM_RECORD(name, us)                        \
+  do {                                                           \
+    static ::calcdb::Histogram* obs_hist_ =                      \
+        ::calcdb::obs::MetricsRegistry::Global().GetHistogram(name); \
+    obs_hist_->Record(us);                                       \
+  } while (0)
+
+// Named RAII span; lives until end of scope.
+#define CALCDB_TRACE_SPAN(var, name, cat, arg) \
+  ::calcdb::obs::TraceSpan var(name, cat, arg)
+
+#define CALCDB_TRACE_INSTANT(name, cat, arg) \
+  ::calcdb::obs::Tracer::Global().EmitInstant(name, cat, arg)
+
+#define CALCDB_TRACE_COMPLETE(name, cat, start_us, dur_us, arg)     \
+  ::calcdb::obs::Tracer::Global().EmitComplete(name, cat, start_us, \
+                                               dur_us, arg)
+
+#else  // !CALCDB_OBS_ENABLED
+
+#define CALCDB_OBS_ONLY(...)
+#define CALCDB_COUNTER_ADD(name, n) ((void)0)
+#define CALCDB_GAUGE_SET(name, v) ((void)0)
+#define CALCDB_GAUGE_ADD(name, d) ((void)0)
+#define CALCDB_HISTOGRAM_RECORD(name, us) ((void)0)
+#define CALCDB_TRACE_SPAN(var, name, cat, arg) ((void)0)
+#define CALCDB_TRACE_INSTANT(name, cat, arg) ((void)0)
+#define CALCDB_TRACE_COMPLETE(name, cat, start_us, dur_us, arg) ((void)0)
+
+#endif  // CALCDB_OBS_ENABLED
+
+#endif  // CALCDB_OBS_OBS_H_

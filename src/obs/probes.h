@@ -1,0 +1,43 @@
+#ifndef CALCDB_OBS_PROBES_H_
+#define CALCDB_OBS_PROBES_H_
+
+// Dependency-free probe counters for headers that cannot include the
+// metrics registry without creating an include cycle (util/latch.h is
+// included *by* the registry; checkpoint/phase.h sits below it too).
+// The registry exposes these as callback gauges at snapshot time.
+//
+// Probes are plain relaxed counters: they are statistics, never
+// synchronization, so no ordering stronger than relaxed is ever
+// needed (enforced by the obs-relaxed-order lint rule).
+
+#include <atomic>
+#include <cstdint>
+
+#ifndef CALCDB_OBS_ENABLED
+#define CALCDB_OBS_ENABLED 1
+#endif
+
+namespace calcdb {
+namespace obs {
+
+// Number of times SpinLatch::Lock() found the latch already held and
+// had to spin (one count per contended acquisition, not per spin).
+inline std::atomic<uint64_t> g_latch_contention{0};
+
+// Number of optimistic-retry restarts in PhaseController::BeginTxn().
+inline std::atomic<uint64_t> g_phase_restarts{0};
+
+}  // namespace obs
+}  // namespace calcdb
+
+#if CALCDB_OBS_ENABLED
+#define CALCDB_PROBE_LATCH_CONTENTION() \
+  ::calcdb::obs::g_latch_contention.fetch_add(1, std::memory_order_relaxed)
+#define CALCDB_PROBE_PHASE_RESTART() \
+  ::calcdb::obs::g_phase_restarts.fetch_add(1, std::memory_order_relaxed)
+#else
+#define CALCDB_PROBE_LATCH_CONTENTION() ((void)0)
+#define CALCDB_PROBE_PHASE_RESTART() ((void)0)
+#endif
+
+#endif  // CALCDB_OBS_PROBES_H_

@@ -1,0 +1,65 @@
+#include "obs/stats_reporter.h"
+
+#include <cstdio>
+#include <thread>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "util/clock.h"
+
+namespace calcdb {
+namespace obs {
+
+StatsReporter::StatsReporter(int64_t period_ms, std::string path)
+    : period_ms_(period_ms > 0 ? period_ms : 1000),
+      path_(std::move(path)) {}
+
+StatsReporter::~StatsReporter() { Stop(); }
+
+void StatsReporter::Start() {
+  if (running_.exchange(true, std::memory_order_acq_rel)) return;
+  thread_ = std::thread([this] { Loop(); });
+}
+
+void StatsReporter::Stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  if (thread_.joinable()) thread_.join();
+  WriteSnapshot();
+}
+
+void StatsReporter::Loop() {
+  // Sleep in short slices so Stop() is responsive even with a long
+  // period.
+  int64_t elapsed_ms = 0;
+  while (running_.load(std::memory_order_acquire)) {
+    SleepMicros(10 * 1000);
+    elapsed_ms += 10;
+    if (elapsed_ms >= period_ms_) {
+      elapsed_ms = 0;
+      WriteSnapshot();
+    }
+  }
+}
+
+void StatsReporter::WriteSnapshot() {
+  auto& registry = MetricsRegistry::Global();
+  if (path_.empty()) {
+    std::string text = registry.SnapshotText();
+    std::fprintf(stderr, "--- calcdb stats @%lld us ---\n%s",
+                 static_cast<long long>(NowMicros()), text.c_str());
+  } else {
+    char ts[32];
+    std::snprintf(ts, sizeof(ts), "%lld",
+                  static_cast<long long>(NowMicros()));
+    std::string json = registry.SnapshotJson({{"ts_us", ts}});
+    std::FILE* f = std::fopen(path_.c_str(), "a");
+    if (f == nullptr) return;
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+  }
+  snapshots_.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace obs
+}  // namespace calcdb

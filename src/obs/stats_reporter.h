@@ -1,0 +1,47 @@
+#ifndef CALCDB_OBS_STATS_REPORTER_H_
+#define CALCDB_OBS_STATS_REPORTER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+
+namespace calcdb {
+namespace obs {
+
+/// Periodically appends one metrics-registry JSON snapshot per line to
+/// a file (or, with an empty path, writes the human-readable text dump
+/// to stderr). Owned by Database; runs between Start() and Stop().
+class StatsReporter {
+ public:
+  /// `period_ms` must be > 0. `path` empty means stderr text mode.
+  StatsReporter(int64_t period_ms, std::string path);
+  ~StatsReporter();
+
+  StatsReporter(const StatsReporter&) = delete;
+  StatsReporter& operator=(const StatsReporter&) = delete;
+
+  void Start();
+
+  /// Stops the thread after writing one final snapshot.
+  void Stop();
+
+  uint64_t snapshots_written() const {
+    return snapshots_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void Loop();
+  void WriteSnapshot();
+
+  const int64_t period_ms_;
+  const std::string path_;
+  std::atomic<bool> running_{false};
+  std::atomic<uint64_t> snapshots_{0};
+  std::thread thread_;
+};
+
+}  // namespace obs
+}  // namespace calcdb
+
+#endif  // CALCDB_OBS_STATS_REPORTER_H_

@@ -1,0 +1,149 @@
+#ifndef CALCDB_OBS_TRACE_H_
+#define CALCDB_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace calcdb {
+namespace obs {
+
+/// One trace event in Chrome trace_event terms. `name` and `cat` must
+/// be string literals (or otherwise immortal): the ring stores the
+/// pointers, not copies.
+struct TraceEvent {
+  const char* name = nullptr;
+  const char* cat = nullptr;
+  int64_t ts_us = 0;   // span start (or instant time)
+  int64_t dur_us = 0;  // span duration; 0 for instants
+  uint64_t arg = 0;    // one free-form numeric payload ("arg" in JSON)
+  uint32_t tid = 0;
+  char ph = 'X';  // 'X' complete span, 'i' instant
+};
+
+/// A bounded MPSC ring of trace events.
+///
+/// Writers claim a ticket with one relaxed fetch_add and publish the
+/// slot with a per-slot seqlock (odd while writing, even when stable);
+/// old events are overwritten once the ring wraps. Snapshot() is the
+/// single-consumer side: it walks the ring and keeps slots whose
+/// sequence is stable across the payload copy, so a reader racing a
+/// wrapping writer drops that slot instead of returning torn data.
+/// Every payload field is individually atomic (relaxed) purely so the
+/// benign read/write race is defined behavior.
+class TraceBuffer {
+ public:
+  /// `capacity` is rounded up to a power of two, min 2.
+  explicit TraceBuffer(size_t capacity = kDefaultCapacity);
+  TraceBuffer(const TraceBuffer&) = delete;
+  TraceBuffer& operator=(const TraceBuffer&) = delete;
+  ~TraceBuffer();
+
+  static constexpr size_t kDefaultCapacity = 1 << 16;
+
+  void Emit(const TraceEvent& ev);
+
+  /// Stable events, oldest first. Events overwritten mid-copy are
+  /// skipped.
+  std::vector<TraceEvent> Snapshot() const;
+
+  /// Total events ever emitted.
+  uint64_t emitted() const {
+    return head_.load(std::memory_order_relaxed);
+  }
+
+  /// Events lost to ring wraparound.
+  uint64_t dropped() const {
+    uint64_t e = emitted();
+    return e > capacity_ ? e - capacity_ : 0;
+  }
+
+  size_t capacity() const { return capacity_; }
+
+  /// Forgets all events (test affordance; not linearizable against
+  /// concurrent writers).
+  void Reset();
+
+  /// Serializes `events` as Chrome/Perfetto trace_event JSON.
+  static std::string ToJson(const std::vector<TraceEvent>& events);
+
+ private:
+  struct alignas(64) Slot {
+    // Seqlock: 0 = never written, odd = write in progress,
+    // even > 0 = stable generation.
+    std::atomic<uint64_t> seq{0};
+    std::atomic<const char*> name{nullptr};
+    std::atomic<const char*> cat{nullptr};
+    std::atomic<int64_t> ts_us{0};
+    std::atomic<int64_t> dur_us{0};
+    std::atomic<uint64_t> arg{0};
+    std::atomic<uint32_t> tid{0};
+    std::atomic<char> ph{'X'};
+  };
+
+  size_t capacity_;  // power of two
+  Slot* slots_;
+  std::atomic<uint64_t> head_{0};
+};
+
+/// Process-global tracer: one TraceBuffer plus an enable flag checked
+/// (relaxed) on every emit. All engine trace points go through this.
+class Tracer {
+ public:
+  static Tracer& Global();
+
+  void SetEnabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+  bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Emits a completed span [start_us, start_us + dur_us).
+  void EmitComplete(const char* name, const char* cat, int64_t start_us,
+                    int64_t dur_us, uint64_t arg = 0);
+
+  /// Emits an instant event.
+  void EmitInstant(const char* name, const char* cat, uint64_t arg = 0);
+
+  TraceBuffer& buffer() { return buffer_; }
+
+  /// Writes the current ring contents as trace_event JSON to `path`.
+  /// Returns false on I/O error.
+  bool ExportJson(const std::string& path) const;
+
+  std::string ToJson() const {
+    return TraceBuffer::ToJson(buffer_.Snapshot());
+  }
+
+ private:
+  Tracer() = default;
+
+  static uint32_t CurrentTid();
+
+  TraceBuffer buffer_;
+  std::atomic<bool> enabled_{true};
+};
+
+/// RAII span: records start time at construction and emits one 'X'
+/// event at destruction (if tracing is enabled).
+class TraceSpan {
+ public:
+  TraceSpan(const char* name, const char* cat, uint64_t arg = 0);
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  const char* name_;
+  const char* cat_;
+  uint64_t arg_;
+  int64_t start_us_;
+};
+
+}  // namespace obs
+}  // namespace calcdb
+
+#endif  // CALCDB_OBS_TRACE_H_

@@ -5,6 +5,7 @@
 #include "checkpoint/admission_gate.h"
 #include "checkpoint/checkpointer.h"
 #include "checkpoint/phase.h"
+#include "obs/obs.h"
 #include "txn/executor.h"
 #include "txn/lock_manager.h"
 #include "util/clock.h"
@@ -15,6 +16,7 @@ Status RecoveryManager::LoadCheckpoints(CheckpointStorage* storage,
                                         KVStore* store,
                                         RecoveryStats* stats) {
   Stopwatch sw;
+  CALCDB_TRACE_SPAN(load_span, "load_checkpoints", "recovery", 0);
   std::vector<CheckpointInfo> chain = storage->RecoveryChain();
   for (const CheckpointInfo& info : chain) {
     CheckpointFileReader reader;
@@ -22,6 +24,9 @@ Status RecoveryManager::LoadCheckpoints(CheckpointStorage* storage,
     CALCDB_RETURN_NOT_OK(
         reader.ReadAll([&](const CheckpointEntry& entry) -> Status {
           ++stats->entries_applied;
+          CALCDB_COUNTER_ADD("calcdb.recovery.entries_applied", 1);
+          CALCDB_COUNTER_ADD("calcdb.recovery.checkpoint_read_bytes",
+                             entry.value.size() + sizeof(entry.key));
           if (entry.tombstone) {
             // Deleting an absent key is fine: a partial may tombstone a
             // record the loaded base never contained.
@@ -61,9 +66,20 @@ Status RecoveryManager::ReplayLog(const CommitLog& log,
       stats->checkpoints_loaded == 0
           ? log.CommitsFrom(0)
           : log.CommitsAfter(stats->replay_from_lsn);
+  CALCDB_TRACE_SPAN(replay_span, "replay_log", "recovery", commits.size());
   for (const LogEntry& entry : commits) {
     CALCDB_RETURN_NOT_OK(executor.Replay(entry.proc_id, entry.args));
     ++stats->txns_replayed;
+    CALCDB_COUNTER_ADD("calcdb.recovery.txns_replayed", 1);
+    // Framed commit size: len + crc + type + txn_id + proc_id +
+    // args_len + args (matches CommitLog::EncodeEntry).
+    CALCDB_COUNTER_ADD("calcdb.recovery.log_read_bytes",
+                       4 + 4 + 1 + 8 + 4 + 4 + entry.args.size());
+    // Batch markers let a trace show replay progress over time.
+    if ((stats->txns_replayed & 8191) == 0) {
+      CALCDB_TRACE_INSTANT("replay_batch", "recovery",
+                           stats->txns_replayed);
+    }
   }
   stats->replay_micros = sw.ElapsedMicros();
   return Status::OK();

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "obs/obs.h"
+
 namespace calcdb {
 
 namespace {
@@ -46,11 +48,15 @@ KVStore::~KVStore() {
 Record* KVStore::Find(uint64_t key) const {
   size_t b = HashKey(key) & bucket_mask_;
   Record* rec = buckets_[b].load(std::memory_order_acquire);
+  int64_t probe = 0;
   while (rec != nullptr) {
-    if (rec->key == key) return rec;
+    ++probe;
+    if (rec->key == key) break;
     rec = rec->next;
   }
-  return nullptr;
+  CALCDB_HISTOGRAM_RECORD("calcdb.storage.probe_len", probe);
+  (void)probe;
+  return rec;
 }
 
 Record* KVStore::AllocateRecord(uint64_t key) {
@@ -75,9 +81,15 @@ Record* KVStore::FindOrCreate(uint64_t key) {
   for (;;) {
     // Fast path: present already.
     Record* head = buckets_[b].load(std::memory_order_acquire);
+    int64_t probe = 0;
     for (Record* rec = head; rec != nullptr; rec = rec->next) {
-      if (rec->key == key) return rec;
+      ++probe;
+      if (rec->key == key) {
+        CALCDB_HISTOGRAM_RECORD("calcdb.storage.probe_len", probe);
+        return rec;
+      }
     }
+    (void)probe;
     Record* rec = AllocateRecord(key);
     if (rec == nullptr) return nullptr;
     rec->next = head;

@@ -3,6 +3,7 @@
 #include <cstdlib>
 #include <new>
 
+#include "obs/obs.h"
 #include "storage/memory_tracker.h"
 
 namespace calcdb {
@@ -97,9 +98,11 @@ void* ValuePool::Allocate(size_t bytes, uint32_t* alloc_size) {
           -static_cast<int64_t>(*alloc_size));
       MemoryTracker::Global().AddValueBytes(
           static_cast<int64_t>(*alloc_size));
+      CALCDB_COUNTER_ADD("calcdb.storage.pool_hit", 1);
       return node;
     }
   }
+  CALCDB_COUNTER_ADD("calcdb.storage.pool_miss", 1);
   MemoryTracker::Global().AddValueBytes(static_cast<int64_t>(*alloc_size));
   return std::malloc(*alloc_size);
 }

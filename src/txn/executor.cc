@@ -1,12 +1,40 @@
 #include "txn/executor.h"
 
+#include <atomic>
+#include <string>
 #include <unordered_map>
 
+#include "obs/obs.h"
 #include "storage/value.h"
 #include "txn/txn_context.h"
 #include "util/clock.h"
 
 namespace calcdb {
+
+#if CALCDB_OBS_ENABLED
+namespace {
+
+// Binds (once per procedure) and bumps the per-procedure outcome
+// counter. The cached pointer lives in the procedure itself so the hot
+// path is one acquire load + one relaxed add. Publication must be
+// release/acquire: a thread that reads the pointer without having
+// taken the registry latch needs the counter's construction to be
+// visible before it touches the shards.
+void BumpProcCounter(const StoredProcedure* proc, bool committed) {
+  auto& slot = committed ? proc->obs_commits : proc->obs_aborts;
+  obs::ShardedCounter* c = slot.load(std::memory_order_acquire);
+  if (c == nullptr) {
+    std::string name = committed ? "calcdb.txn.committed.by_proc."
+                                 : "calcdb.txn.aborted.by_proc.";
+    name += proc->name();
+    c = obs::MetricsRegistry::Global().GetCounter(name);
+    slot.store(c, std::memory_order_release);
+  }
+  c->Add(1);
+}
+
+}  // namespace
+#endif  // CALCDB_OBS_ENABLED
 
 Status Executor::Execute(uint32_t proc_id, std::string args,
                          int64_t arrival_us, Txn* txn_out) {
@@ -31,7 +59,10 @@ Status Executor::Execute(uint32_t proc_id, std::string args,
   KeySets sets;
   proc->GetKeys(args, &sets);
   LockManager::LockSet locks = lock_manager_->Resolve(sets);
+  CALCDB_OBS_ONLY(int64_t lock_wait_start_us = NowMicros();)
   lock_manager_->AcquireAll(locks);
+  CALCDB_HISTOGRAM_RECORD("calcdb.txn.lock_wait_us",
+                          NowMicros() - lock_wait_start_us);
 
   // 4. Run procedure logic against the buffering context.
   TxnContext ctx(engine_.store, checkpointer_, &txn, &sets);
@@ -108,8 +139,12 @@ Status Executor::Execute(uint32_t proc_id, std::string args,
     // still before lock release.
     checkpointer_->OnCommit(txn);
     committed_.fetch_add(1, std::memory_order_relaxed);
+    CALCDB_COUNTER_ADD("calcdb.txn.committed", 1);
+    CALCDB_OBS_ONLY(BumpProcCounter(proc, true);)
   } else {
     aborted_.fetch_add(1, std::memory_order_relaxed);
+    CALCDB_COUNTER_ADD("calcdb.txn.aborted", 1);
+    CALCDB_OBS_ONLY(BumpProcCounter(proc, false);)
   }
 
   // 8. Release locks, then deregister.

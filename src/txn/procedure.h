@@ -1,6 +1,7 @@
 #ifndef CALCDB_TXN_PROCEDURE_H_
 #define CALCDB_TXN_PROCEDURE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -11,6 +12,10 @@
 #include "util/status.h"
 
 namespace calcdb {
+
+namespace obs {
+class ShardedCounter;
+}  // namespace obs
 
 class TxnContext;
 
@@ -56,6 +61,13 @@ class StoredProcedure {
   /// status aborts the transaction (its writes are discarded — see
   /// TxnContext buffering).
   virtual Status Run(TxnContext& ctx, std::string_view args) const = 0;
+
+  /// Per-procedure commit/abort counters, bound lazily by the executor
+  /// on first use (the registry hands out stable pointers, so the
+  /// benign publish race just repeats an idempotent lookup). Mutable
+  /// atomics: instrumentation state, not procedure logic.
+  mutable std::atomic<obs::ShardedCounter*> obs_commits{nullptr};
+  mutable std::atomic<obs::ShardedCounter*> obs_aborts{nullptr};
 };
 
 /// Registry mapping procedure ids to implementations. Immutable once the

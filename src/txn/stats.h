@@ -26,11 +26,25 @@ class ThroughputRecorder {
   void Restart() {
     start_us_ = NowMicros();
     for (auto& b : bins_) b.store(0, std::memory_order_relaxed);
+    total_.store(0, std::memory_order_relaxed);
+    dropped_.store(0, std::memory_order_relaxed);
   }
 
   void RecordCommit(int64_t commit_us) {
     int64_t sec = (commit_us - start_us_) / 1000000;
-    if (sec >= 0 && sec < static_cast<int64_t>(bins_.size())) {
+    if (sec >= static_cast<int64_t>(bins_.size())) {
+      // A run that outlives the bin range must not silently lose its
+      // tail: saturate into the last bin and count the overflow so
+      // callers can detect a too-small max_seconds.
+      sec = static_cast<int64_t>(bins_.size()) - 1;
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+    } else if (sec < 0) {
+      // Pre-Restart timestamp (clock skew between threads): counted in
+      // total and dropped, binned nowhere.
+      sec = -1;
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (sec >= 0) {
       bins_[static_cast<size_t>(sec)].fetch_add(1,
                                                 std::memory_order_relaxed);
     }
@@ -52,12 +66,20 @@ class ThroughputRecorder {
   }
 
   uint64_t total() const { return total_.load(std::memory_order_relaxed); }
+
+  /// Commits that fell outside the bin range (saturated into the last
+  /// bin, or before Restart()). Still included in total().
+  uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
   int64_t start_us() const { return start_us_; }
 
  private:
   int64_t start_us_;
   std::vector<std::atomic<uint64_t>> bins_;
   std::atomic<uint64_t> total_{0};
+  std::atomic<uint64_t> dropped_{0};
 };
 
 /// Everything a driver run produces: throughput series + latency CDF.

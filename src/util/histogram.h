@@ -51,6 +51,25 @@ class Histogram {
   /// Multi-line human-readable summary (p50/p90/p99/p999/max).
   std::string Summary() const;
 
+  /// Adds every recording of `other` into this histogram (bucket-wise;
+  /// exact, since both share the same bucket layout). Safe against
+  /// concurrent Record() on either side, though a racing Record may or
+  /// may not be included.
+  void Merge(const Histogram& other) {
+    for (int i = 0; i < kNumBuckets; ++i) {
+      uint64_t n = other.buckets_[static_cast<size_t>(i)].load(
+          std::memory_order_relaxed);
+      if (n != 0) {
+        buckets_[static_cast<size_t>(i)].fetch_add(
+            n, std::memory_order_relaxed);
+      }
+    }
+    count_.fetch_add(other.count_.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+    sum_.fetch_add(other.sum_.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+  }
+
   void Reset() {
     for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
     count_.store(0, std::memory_order_relaxed);

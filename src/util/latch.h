@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <thread>
 
+#include "obs/probes.h"
 #include "util/thread_annotations.h"
 
 namespace calcdb {
@@ -22,15 +23,17 @@ class CALCDB_CAPABILITY("mutex") SpinLatch {
   SpinLatch& operator=(const SpinLatch&) = delete;
 
   void Lock() CALCDB_ACQUIRE() {
+    if (flag_.exchange(1, std::memory_order_acquire) == 0) return;
+    CALCDB_PROBE_LATCH_CONTENTION();
     int spins = 0;
-    while (flag_.exchange(1, std::memory_order_acquire) != 0) {
+    do {
       while (flag_.load(std::memory_order_relaxed) != 0) {
         if (++spins >= kSpinLimit) {
           std::this_thread::yield();
           spins = 0;
         }
       }
-    }
+    } while (flag_.exchange(1, std::memory_order_acquire) != 0);
   }
 
   bool TryLock() CALCDB_TRY_ACQUIRE(true) {

@@ -5,6 +5,7 @@
 
 #include <unistd.h>
 
+#include "obs/obs.h"
 #include "util/clock.h"
 
 namespace calcdb {
@@ -39,7 +40,9 @@ void ThrottledFileWriter::ThrottleFor(size_t n) {
   if (tokens_ > burst) tokens_ = burst;
   last_refill_us_ = now;
   tokens_ -= static_cast<double>(n);
+  CALCDB_OBS_ONLY(bool stalled = false; int64_t stall_start_us = now;)
   while (tokens_ < 0) {
+    CALCDB_OBS_ONLY(stalled = true;)
     int64_t sleep_us = static_cast<int64_t>(-tokens_ / rate * 1e6) + 1;
     if (sleep_us > 20000) sleep_us = 20000;
     SleepMicros(sleep_us);
@@ -47,6 +50,13 @@ void ThrottledFileWriter::ThrottleFor(size_t n) {
     tokens_ += rate * static_cast<double>(now - last_refill_us_) / 1e6;
     last_refill_us_ = now;
   }
+#if CALCDB_OBS_ENABLED
+  if (stalled) {
+    CALCDB_COUNTER_ADD("calcdb.io.throttle_stalls", 1);
+    CALCDB_COUNTER_ADD("calcdb.io.throttle_stall_us",
+                       static_cast<uint64_t>(now - stall_start_us));
+  }
+#endif
   if (tokens_ > burst) tokens_ = burst;
 }
 

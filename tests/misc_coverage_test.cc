@@ -165,6 +165,38 @@ TEST(ThroughputRecorderTest, BinsBySecond) {
   EXPECT_EQ(recorder.total(), 4u);
 }
 
+// Regression: commits past max_seconds used to vanish entirely — not
+// binned, not counted. They now saturate into the last bin and are
+// reported through dropped(), so a run that outlives its recorder is
+// detectable instead of silently under-reported.
+TEST(ThroughputRecorderTest, LateCommitsSaturateIntoLastBin) {
+  ThroughputRecorder recorder(10);
+  int64_t start = recorder.start_us();
+  recorder.RecordCommit(start + 100);            // bin 0
+  recorder.RecordCommit(start + 9 * 1000000);    // bin 9 (last)
+  recorder.RecordCommit(start + 15 * 1000000);   // past the end: saturates
+  recorder.RecordCommit(start + 99 * 1000000);   // far past: saturates
+  std::vector<uint64_t> series = recorder.Series(10);
+  ASSERT_EQ(series.size(), 10u);
+  EXPECT_EQ(series[0], 1u);
+  EXPECT_EQ(series[9], 3u);  // the in-range commit plus both saturated
+  EXPECT_EQ(recorder.total(), 4u);
+  EXPECT_EQ(recorder.dropped(), 2u);
+
+  // Pre-start timestamps (cross-thread clock skew) count in total and
+  // dropped but land in no bin.
+  recorder.RecordCommit(start - 5 * 1000000);
+  EXPECT_EQ(recorder.total(), 5u);
+  EXPECT_EQ(recorder.dropped(), 3u);
+  uint64_t binned = 0;
+  for (uint64_t b : recorder.Series(10)) binned += b;
+  EXPECT_EQ(binned, 4u);
+
+  recorder.Restart();
+  EXPECT_EQ(recorder.total(), 0u);
+  EXPECT_EQ(recorder.dropped(), 0u);
+}
+
 TEST(DatabaseTest, GetStatsStringCoversSections) {
   TempDir dir;
   Options options;

@@ -305,6 +305,49 @@ TEST(HistogramTest, MeanAndReset) {
   EXPECT_EQ(h.PercentileUs(0.5), 0);
 }
 
+TEST(HistogramTest, EmptyPercentilesAreZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.PercentileUs(0.0), 0);
+  EXPECT_EQ(h.PercentileUs(0.5), 0);
+  EXPECT_EQ(h.PercentileUs(1.0), 0);
+  EXPECT_NEAR(h.MeanUs(), 0.0, 1e-9);
+}
+
+TEST(HistogramTest, SingleSampleDominatesEveryQuantile) {
+  Histogram h;
+  h.Record(750);
+  EXPECT_EQ(h.count(), 1u);
+  int64_t p0 = h.PercentileUs(0.0);
+  int64_t p50 = h.PercentileUs(0.5);
+  int64_t p100 = h.PercentileUs(1.0);
+  EXPECT_EQ(p0, p50);
+  EXPECT_EQ(p50, p100);
+  // Log-bucket resolution: the reported value is the lower bound of the
+  // sample's bucket (~4.6% relative error).
+  EXPECT_NEAR(static_cast<double>(p50), 750.0, 750.0 * 0.05);
+  EXPECT_NEAR(h.MeanUs(), 750.0, 1e-9);
+}
+
+TEST(HistogramTest, MergeOfDisjointRanges) {
+  Histogram low, high;
+  for (int i = 1; i <= 1000; ++i) low.Record(i);           // [1, 1000]
+  for (int i = 100000; i < 101000; ++i) high.Record(i);    // [100k, 101k)
+  low.Merge(high);
+  EXPECT_EQ(low.count(), 2000u);
+  // Each source histogram occupies one half of the merged distribution.
+  EXPECT_LE(low.PercentileUs(0.25), 1100);
+  EXPECT_GE(low.PercentileUs(0.75), 90000);
+  EXPECT_NEAR(low.MeanUs(), (500.5 + 100499.5) / 2.0, 500.0);
+  // The donor is unchanged.
+  EXPECT_EQ(high.count(), 1000u);
+  // Merging an empty histogram is a no-op.
+  Histogram empty;
+  uint64_t before = low.count();
+  low.Merge(empty);
+  EXPECT_EQ(low.count(), before);
+}
+
 TEST(Crc32Test, KnownVector) {
   // CRC-32 of "123456789" is 0xCBF43926.
   EXPECT_EQ(Crc32("123456789", 9), 0xCBF43926u);

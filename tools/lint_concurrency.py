@@ -31,6 +31,13 @@ ISSUE/CONTRIBUTING "Correctness tooling"):
                           scope, and files touching std::atomic/std::thread/
                           std::mutex include the matching standard header
                           themselves.
+  obs-relaxed-order       Observability code (src/obs/) must not add memory
+                          fences to the code paths it measures: no
+                          memory_order_seq_cst anywhere, and counter-style
+                          RMWs (fetch_add/fetch_sub) must be
+                          memory_order_relaxed. Acquire/release is allowed
+                          for loads/stores/exchange (the trace-ring seqlock
+                          and reporter-thread handshakes need it).
 
 A finding can be waived per line with a trailing comment:
     // lint:allow(<rule-id>): <justification>
@@ -246,6 +253,41 @@ def check_refcount_order(path, code, raw_lines):
     return findings
 
 
+OBS_RMW_RE = re.compile(r"[.\s>](fetch_add|fetch_sub)\s*\(")
+
+
+def check_obs_relaxed(path, code, raw_lines):
+    norm = path.replace(os.sep, "/")
+    if "/obs/" not in norm and not norm.startswith("obs/"):
+        return []
+    findings = []
+    for m in re.finditer(r"\bmemory_order_seq_cst\b", code):
+        lineno = line_of(code, m.start())
+        if waived(raw_lines, lineno, "obs-relaxed-order"):
+            continue
+        findings.append(Finding(
+            path, lineno, "obs-relaxed-order",
+            "memory_order_seq_cst in obs instrumentation: the "
+            "observability hot path must not insert full fences into the "
+            "code it measures (use relaxed, or acquire/release for the "
+            "trace-ring seqlock)"))
+    for m in OBS_RMW_RE.finditer(code):
+        open_paren = code.index("(", m.end() - 1)
+        args = call_args(code, open_paren)
+        lineno = line_of(code, m.start())
+        if args is None:
+            continue
+        if "memory_order_relaxed" not in args:
+            if not waived(raw_lines, lineno, "obs-relaxed-order"):
+                findings.append(Finding(
+                    path, lineno, "obs-relaxed-order",
+                    f"obs counter '{m.group(1)}' must be "
+                    "memory_order_relaxed: metrics are monotonic sums read "
+                    "via independent per-slot loads, so any stronger order "
+                    "only taxes the instrumented path"))
+    return findings
+
+
 def check_naked_lock(path, code, raw_lines):
     if path.replace(os.sep, "/").endswith("util/latch.h"):
         return []  # the primitive's own definition
@@ -359,6 +401,7 @@ def lint_file(path, root):
     findings += check_phase_token(path, code, raw_lines)
     findings += check_header_guard(path, code, raw_lines, root)
     findings += check_include_hygiene(path, code, raw_lines)
+    findings += check_obs_relaxed(path, code, raw_lines)
     return findings
 
 
@@ -422,6 +465,17 @@ SELF_TEST_CASES = [
      "#include <cstdint>\nstd::atomic<int> x;\n"),
     ("include-hygiene", False, "d.cc",
      '#include <atomic>\n#include "util/latch.h"\nstd::atomic<int> x;\n'),
+    ("obs-relaxed-order", True, "obs/e.cc",
+     "void F() { c_.fetch_add(1, std::memory_order_seq_cst); }\n"),
+    ("obs-relaxed-order", True, "obs/e.cc",
+     "void F() { c_.fetch_add(1, std::memory_order_acq_rel); }\n"),
+    ("obs-relaxed-order", False, "obs/e.cc",
+     "void F() {\n  c_.fetch_add(1, std::memory_order_relaxed);\n"
+     "  seq_.store(2, std::memory_order_release);\n"
+     "  bool was = running_.exchange(false, std::memory_order_acq_rel);\n"
+     "  (void)was;\n}\n"),
+    ("obs-relaxed-order", False, "txn/e.cc",
+     "void F() { c_.fetch_add(1, std::memory_order_seq_cst); }\n"),
 ]
 
 

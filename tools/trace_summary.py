@@ -1,0 +1,132 @@
+#!/usr/bin/env python3
+"""Summarizes a calcdb trace JSON (obs::Tracer ExportJson output).
+
+The export is Chrome/Perfetto trace_event format — load it in
+https://ui.perfetto.dev (or chrome://tracing) for the interactive view.
+This script is the no-browser companion: it validates the format and
+prints, from the shell,
+
+  * per-(category, name) event counts and duration stats for complete
+    ('X') events, instant ('i') counts;
+  * the checkpoint-phase timeline (cat=ckpt spans in time order), the
+    CALC rest/prepare/resolve/capture/complete story of docs/PAPER.md
+    Figure 1 as text.
+
+Stdlib only.
+
+Usage:
+    trace_summary.py TRACE.json [--timeline] [--cat CAT]
+Exit status: 0 ok, 1 malformed trace or I/O error.
+"""
+
+import json
+import sys
+
+REQUIRED_KEYS = {"name", "cat", "ph", "ts", "pid", "tid"}
+
+
+def load_events(path):
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        raise ValueError("top level must be {\"traceEvents\": [...]}")
+    events = doc["traceEvents"]
+    if not isinstance(events, list):
+        raise ValueError("traceEvents must be an array")
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            raise ValueError(f"event {i} is not an object")
+        missing = REQUIRED_KEYS - set(ev)
+        if missing:
+            raise ValueError(f"event {i} missing keys {sorted(missing)}")
+        if ev["ph"] not in ("X", "i"):
+            raise ValueError(f"event {i} has unknown phase {ev['ph']!r}")
+        if ev["ph"] == "X" and "dur" not in ev:
+            raise ValueError(f"event {i} is 'X' but has no dur")
+    return events
+
+
+def fmt_us(us):
+    if us >= 1000000:
+        return f"{us / 1000000:.2f}s"
+    if us >= 1000:
+        return f"{us / 1000:.2f}ms"
+    return f"{us}us"
+
+
+def print_table(events):
+    groups = {}
+    for ev in events:
+        key = (ev["cat"], ev["name"], ev["ph"])
+        groups.setdefault(key, []).append(ev)
+    print(f"{'cat':<10} {'name':<18} {'ph':<2} {'count':>7} "
+          f"{'total':>10} {'mean':>10} {'max':>10}")
+    for (cat, name, ph), evs in sorted(groups.items()):
+        if ph == "X":
+            durs = [ev["dur"] for ev in evs]
+            print(f"{cat:<10} {name:<18} {ph:<2} {len(evs):>7} "
+                  f"{fmt_us(sum(durs)):>10} "
+                  f"{fmt_us(sum(durs) // len(durs)):>10} "
+                  f"{fmt_us(max(durs)):>10}")
+        else:
+            print(f"{cat:<10} {name:<18} {ph:<2} {len(evs):>7} "
+                  f"{'-':>10} {'-':>10} {'-':>10}")
+
+
+def print_timeline(events, cat):
+    spans = [ev for ev in events if ev["cat"] == cat and ev["ph"] == "X"]
+    if not spans:
+        print(f"\nno '{cat}' spans in trace")
+        return
+    spans.sort(key=lambda ev: ev["ts"])
+    t0 = spans[0]["ts"]
+    print(f"\n{cat} timeline (offsets from first span):")
+    for ev in spans:
+        arg = ev.get("args", {}).get("arg", "")
+        print(f"  +{fmt_us(ev['ts'] - t0):>10}  {ev['name']:<18} "
+              f"{fmt_us(ev['dur']):>10}  arg={arg}")
+
+
+def main(argv):
+    path = None
+    cat = "ckpt"
+    i = 0
+    while i < len(argv):
+        a = argv[i]
+        if a == "--cat" and i + 1 < len(argv):
+            cat = argv[i + 1]
+            i += 2
+            continue
+        if a.startswith("--cat="):
+            cat = a.split("=", 1)[1]
+        elif a == "--timeline":
+            pass  # the timeline always prints; kept for compatibility
+        elif not a.startswith("--") and path is None:
+            path = a
+        else:
+            print(__doc__, file=sys.stderr)
+            return 1
+        i += 1
+    if path is None:
+        print(__doc__, file=sys.stderr)
+        return 1
+    try:
+        events = load_events(path)
+    except (OSError, ValueError, json.JSONDecodeError) as e:
+        print(f"{path}: {e}", file=sys.stderr)
+        return 1
+    if not events:
+        print("trace is valid but holds no events (was the tracer "
+              "enabled? see docs/OBSERVABILITY.md)")
+        return 0
+    span = (max(ev["ts"] + ev.get("dur", 0) for ev in events) -
+            min(ev["ts"] for ev in events))
+    print(f"{path}: {len(events)} events over {fmt_us(span)} "
+          f"(open in https://ui.perfetto.dev)\n")
+    print_table(events)
+    print_timeline(events, cat)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
