@@ -98,6 +98,7 @@ struct RunConfig {
   bool background_merge = false;
   size_t merge_batch = 4;
   DirtyTrackerKind tracker = DirtyTrackerKind::kBitVector;
+  int capture_threads = 0;          ///< 0 = auto (env var, else 1)
   uint64_t seed = 42;
 };
 
@@ -131,6 +132,7 @@ inline RunResult RunMicrobenchExperiment(const RunConfig& config,
   options.background_merge = config.background_merge;
   options.merge_batch = config.merge_batch;
   options.dirty_tracker = config.tracker;
+  options.capture_threads = config.capture_threads;
 
   std::unique_ptr<Database> db;
   Status st = Database::Open(options, &db);
@@ -330,6 +332,8 @@ inline RunConfig ConfigFromFlags(const Flags& flags) {
   config.threads = static_cast<int>(flags.Int("threads", 2));
   config.disk_bytes_per_sec =
       static_cast<uint64_t>(flags.Double("disk_mbps", 25.0) * 1048576.0);
+  config.capture_threads =
+      static_cast<int>(flags.Int("capture_threads", 0));
   config.seed = static_cast<uint64_t>(flags.Int("seed", 42));
   return config;
 }

@@ -83,19 +83,21 @@ bool AuditCheckpoint(Database* db, const char* label) {
   if (chain.empty()) return false;
   int64_t total = 0;
   uint64_t accounts = 0;
-  CheckpointFileReader reader;
-  if (!reader.Open(chain.back().path).ok()) return false;
-  reader
-      .ReadAll([&](const CheckpointEntry& entry) -> Status {
-        if (!entry.tombstone && entry.value.size() == 8) {
-          int64_t balance;
-          std::memcpy(&balance, entry.value.data(), 8);
-          total += balance;
-          ++accounts;
-        }
-        return Status::OK();
-      })
-      .ok();
+  for (const std::string& file : chain.back().files()) {
+    CheckpointFileReader reader;
+    if (!reader.Open(file).ok()) return false;
+    reader
+        .ReadAll([&](const CheckpointEntry& entry) -> Status {
+          if (!entry.tombstone && entry.value.size() == 8) {
+            int64_t balance;
+            std::memcpy(&balance, entry.value.data(), 8);
+            total += balance;
+            ++accounts;
+          }
+          return Status::OK();
+        })
+        .ok();
+  }
   int64_t expected =
       static_cast<int64_t>(kNumAccounts) * kInitialBalance;
   std::printf("  [%s] checkpoint audit: %llu accounts, total=%lld, "

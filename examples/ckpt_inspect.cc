@@ -42,12 +42,16 @@ int InspectDirectory(const std::string& dir, bool verify) {
   std::printf("%-6s %-8s %12s %12s  %s\n", "id", "type", "entries",
               "vpoc_lsn", "path");
   for (const CheckpointInfo& info : storage.List()) {
-    std::printf("%-6llu %-8s %12llu %12llu  %s\n",
+    std::printf("%-6llu %-8s %12llu %12llu  %s",
                 static_cast<unsigned long long>(info.id),
                 info.type == CheckpointType::kFull ? "full" : "partial",
                 static_cast<unsigned long long>(info.num_entries),
                 static_cast<unsigned long long>(info.vpoc_lsn),
                 info.path.c_str());
+    if (!info.segments.empty()) {
+      std::printf(" (%zu segments)", info.segments.size());
+    }
+    std::printf("\n");
   }
   std::vector<CheckpointInfo> chain = storage.RecoveryChain();
   std::printf("\nrecovery chain: %zu checkpoint(s)", chain.size());
@@ -61,17 +65,23 @@ int InspectDirectory(const std::string& dir, bool verify) {
     std::printf("\nverifying (full re-read + checksum)...\n");
     bool all_ok = true;
     for (const CheckpointInfo& info : storage.List()) {
-      CheckpointFileReader reader;
       uint64_t entries = 0, bytes = 0, tombstones = 0;
-      Status verify_st = reader.Open(info.path);
-      if (verify_st.ok()) {
-        verify_st = reader.ReadAll(
-            [&](const CheckpointEntry& entry) -> Status {
-              ++entries;
-              bytes += entry.value.size();
-              if (entry.tombstone) ++tombstones;
-              return Status::OK();
-            });
+      Status verify_st;
+      // Each segment of a parallel checkpoint is a self-contained file
+      // with its own header, footer and checksum; verify them all.
+      for (const std::string& file : info.files()) {
+        if (!verify_st.ok()) break;
+        CheckpointFileReader reader;
+        verify_st = reader.Open(file);
+        if (verify_st.ok()) {
+          verify_st = reader.ReadAll(
+              [&](const CheckpointEntry& entry) -> Status {
+                ++entries;
+                bytes += entry.value.size();
+                if (entry.tombstone) ++tombstones;
+                return Status::OK();
+              });
+        }
       }
       std::printf("  ckpt %-4llu %s (%llu entries, %llu tombstones, "
                   "%.1f MB payload)\n",

@@ -1,6 +1,9 @@
 #include "checkpoint/calc.h"
 
 #include <cassert>
+#include <string>
+#include <thread>
+#include <vector>
 
 #include "obs/obs.h"
 #include "storage/memory_tracker.h"
@@ -26,6 +29,20 @@ int64_t EmitPhaseSpan(const char* algo, const char* phase,
   hist += "_us";
   obs::MetricsRegistry::Global().GetHistogram(hist)->Record(now - start_us);
   return now;
+}
+
+// Per-segment capture span names must be string literals (the trace ring
+// stores the pointer, not a copy); workers beyond the table share one
+// overflow name.
+const char* SegmentSpanName(size_t seg) {
+  static constexpr const char* kNames[] = {
+      "capture.seg0",  "capture.seg1",  "capture.seg2",  "capture.seg3",
+      "capture.seg4",  "capture.seg5",  "capture.seg6",  "capture.seg7",
+      "capture.seg8",  "capture.seg9",  "capture.seg10", "capture.seg11",
+      "capture.seg12", "capture.seg13", "capture.seg14", "capture.seg15",
+  };
+  constexpr size_t kCount = sizeof(kNames) / sizeof(kNames[0]);
+  return seg < kCount ? kNames[seg] : "capture.seg+";
 }
 
 }  // namespace
@@ -247,6 +264,94 @@ Status CalcCheckpointer::CapturePartial(uint32_t slot_limit,
   return st;
 }
 
+Status CalcCheckpointer::CaptureSegmented(uint32_t slot_limit,
+                                         CheckpointType type, uint64_t id,
+                                         uint64_t vpoc_lsn,
+                                         CheckpointInfo* info,
+                                         CheckpointCycleStats* stats) {
+  // Shard the capture work into contiguous ranges: slot ranges for a full
+  // capture; for pCALC, the dirty indices are collected once (cheap — no
+  // value copies) and split into contiguous chunks, so every segment still
+  // writes its entries in ascending slot order and no two segments ever
+  // touch the same record.
+  std::vector<uint32_t> dirty_indices;
+  size_t total = slot_limit;
+  if (options_.partial) {
+    DirtyKeyTracker& dirty =
+        *dirty_[capture_parity_.load(std::memory_order_acquire)];
+    dirty.ForEach(slot_limit,
+                  [&](uint32_t idx) { dirty_indices.push_back(idx); });
+    total = dirty_indices.size();
+  }
+  size_t nseg = static_cast<size_t>(options_.capture_threads);
+  if (nseg > total) nseg = total < 1 ? 1 : total;
+
+  struct Segment {
+    size_t begin = 0;
+    size_t end = 0;  // work-list index range [begin, end)
+    std::string path;
+    Status status;
+    uint64_t entries = 0;
+    uint64_t bytes = 0;
+  };
+  std::vector<Segment> segs(nseg);
+  for (size_t k = 0; k < nseg; ++k) {
+    segs[k].begin = total * k / nseg;
+    segs[k].end = total * (k + 1) / nseg;
+    segs[k].path = engine_.ckpt_storage->SegmentPathFor(id, type, k);
+  }
+  // Every segment writer draws from the storage-wide budget, keeping the
+  // configured rate an aggregate cap over all concurrent writers.
+  const std::shared_ptr<TokenBucket>& budget =
+      engine_.ckpt_storage->write_budget();
+  auto capture_range = [&](size_t k) {
+    Segment& seg = segs[k];
+    CALCDB_OBS_ONLY(int64_t seg_start_us = NowMicros();)
+    CheckpointFileWriter writer;
+    seg.status = writer.Open(seg.path, type, id, vpoc_lsn, budget);
+    for (size_t i = seg.begin; seg.status.ok() && i < seg.end; ++i) {
+      uint32_t idx =
+          options_.partial ? dirty_indices[i] : static_cast<uint32_t>(i);
+      seg.status = CaptureRecord(*engine_.store->ByIndex(idx), &writer);
+    }
+    if (seg.status.ok()) seg.status = writer.Finish();
+    seg.entries = writer.entries_written();
+    seg.bytes = writer.bytes_written();
+#if CALCDB_OBS_ENABLED
+    int64_t now = NowMicros();
+    obs::Tracer::Global().EmitComplete(SegmentSpanName(k), "ckpt",
+                                       seg_start_us, now - seg_start_us,
+                                       id);
+    CALCDB_COUNTER_ADD("calcdb.ckpt.segments_written", 1);
+    CALCDB_COUNTER_ADD("calcdb.ckpt.segment_bytes", seg.bytes);
+#endif
+  };
+  std::vector<std::thread> workers;
+  workers.reserve(nseg > 0 ? nseg - 1 : 0);
+  for (size_t k = 1; k < nseg; ++k) workers.emplace_back(capture_range, k);
+  capture_range(0);
+  for (std::thread& t : workers) t.join();
+
+  // The checkpoint is valid only once every segment footer is durable; on
+  // any failure the already-written segments stay unregistered and
+  // recovery ignores them (the manifest never lists this checkpoint).
+  for (const Segment& seg : segs) {
+    CALCDB_RETURN_NOT_OK(seg.status);
+  }
+  info->segments.clear();
+  info->num_entries = 0;
+  uint64_t bytes = 0;
+  for (const Segment& seg : segs) {
+    info->segments.push_back(seg.path);
+    info->num_entries += seg.entries;
+    bytes += seg.bytes;
+  }
+  stats->records_written = info->num_entries;
+  stats->bytes_written = bytes;
+  stats->segments = nseg;
+  return Status::OK();
+}
+
 void CalcCheckpointer::WaitForDrain(std::initializer_list<Phase> phases) {
   for (;;) {
     bool drained = true;
@@ -319,24 +424,41 @@ Status CalcCheckpointer::RunCheckpointCycle() {
   Stopwatch capture_sw;
   CheckpointType type =
       options_.partial ? CheckpointType::kPartial : CheckpointType::kFull;
-  std::string path = engine_.ckpt_storage->PathFor(id, type);
-  CheckpointFileWriter writer;
-  CALCDB_RETURN_NOT_OK(writer.Open(
-      path, type, id, vpoc_lsn,
-      engine_.ckpt_storage->disk_bytes_per_sec()));
   uint32_t slot_limit = slots_at_vpoc_.load(std::memory_order_acquire);
-  CALCDB_RETURN_NOT_OK(options_.partial
-                           ? CapturePartial(slot_limit, &writer)
-                           : CaptureAll(slot_limit, &writer));
-  CALCDB_RETURN_NOT_OK(writer.Finish());
+  CheckpointInfo info;
+  info.id = id;
+  info.type = type;
+  info.vpoc_lsn = vpoc_lsn;
+  if (options_.capture_threads > 1) {
+    // Parallel segmented capture. `info.path` keeps the base name the
+    // segment files derive from; no file exists at it.
+    info.path = engine_.ckpt_storage->PathFor(id, type);
+    CALCDB_RETURN_NOT_OK(
+        CaptureSegmented(slot_limit, type, id, vpoc_lsn, &info, &stats));
+  } else {
+    // Single-threaded capture keeps the legacy single-file layout,
+    // byte-for-byte (only the pacing source changed: the shared budget
+    // also meters concurrent merger / base-checkpoint writes).
+    std::string path = engine_.ckpt_storage->PathFor(id, type);
+    CheckpointFileWriter writer;
+    CALCDB_RETURN_NOT_OK(writer.Open(
+        path, type, id, vpoc_lsn, engine_.ckpt_storage->write_budget()));
+    CALCDB_RETURN_NOT_OK(options_.partial
+                             ? CapturePartial(slot_limit, &writer)
+                             : CaptureAll(slot_limit, &writer));
+    CALCDB_RETURN_NOT_OK(writer.Finish());
+    stats.records_written = writer.entries_written();
+    stats.bytes_written = writer.bytes_written();
+    stats.segments = 1;
+    info.path = path;
+    info.num_entries = writer.entries_written();
+  }
   stats.capture_micros = capture_sw.ElapsedMicros();
-  stats.records_written = writer.entries_written();
-  stats.bytes_written = writer.bytes_written();
   CALCDB_OBS_ONLY(
       phase_start_us = EmitPhaseSpan(name(), "capture", phase_start_us, id);)
   if (options_.partial) {
     CALCDB_COUNTER_ADD("calcdb.ckpt.dirty_records_captured",
-                       writer.entries_written());
+                       stats.records_written);
   }
 
   // --- Complete phase --------------------------------------------------
@@ -355,12 +477,6 @@ Status CalcCheckpointer::RunCheckpointCycle() {
   // --- Back to rest ------------------------------------------------------
   engine_.log->AppendPhaseTransition(Phase::kRest, id, engine_.phases);
 
-  CheckpointInfo info;
-  info.id = id;
-  info.type = type;
-  info.vpoc_lsn = vpoc_lsn;
-  info.num_entries = writer.entries_written();
-  info.path = path;
   engine_.ckpt_storage->Register(info);
   CALCDB_RETURN_NOT_OK(engine_.ckpt_storage->PersistManifest());
 

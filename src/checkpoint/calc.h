@@ -18,6 +18,12 @@ struct CalcOptions {
 
   /// Dirty-key structure for pCALC (paper's final choice: bit vector).
   DirtyTrackerKind tracker = DirtyTrackerKind::kBitVector;
+
+  /// Capture-phase worker threads. 1 keeps the legacy single-file capture
+  /// (byte-stable with the original format); N > 1 shards the slot space
+  /// into N contiguous ranges, each written to its own segment file, all
+  /// drawing from the storage's shared write budget.
+  int capture_threads = 1;
 };
 
 /// CALC — Checkpointing Asynchronously using Logical Consistency.
@@ -100,6 +106,14 @@ class CalcCheckpointer : public Checkpointer {
 
   Status CaptureAll(uint32_t slot_limit, CheckpointFileWriter* writer);
   Status CapturePartial(uint32_t slot_limit, CheckpointFileWriter* writer);
+
+  /// Parallel segmented capture: shards the capture work into contiguous
+  /// ranges, one worker + one segment file per range. On success fills
+  /// `info->segments`, `info->num_entries` and `stats` capture fields.
+  Status CaptureSegmented(uint32_t slot_limit, CheckpointType type,
+                          uint64_t id, uint64_t vpoc_lsn,
+                          CheckpointInfo* info,
+                          CheckpointCycleStats* stats);
 
   /// Blocks until there is no active transaction whose start phase is in
   /// `phases` ("wait for all active txns to have start-phase == X").

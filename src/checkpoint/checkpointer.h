@@ -29,6 +29,7 @@ struct CheckpointCycleStats {
   uint64_t checkpoint_id = 0;
   uint64_t records_written = 0;
   uint64_t bytes_written = 0;
+  uint64_t segments = 0;        ///< segment files written (1 = single-file)
   int64_t quiesce_micros = 0;   ///< time the admission gate was closed
   int64_t capture_micros = 0;   ///< asynchronous capture duration
   int64_t total_micros = 0;

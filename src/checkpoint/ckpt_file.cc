@@ -1,6 +1,7 @@
 #include "checkpoint/ckpt_file.h"
 
 #include <cstring>
+#include <utility>
 
 #include "util/crc32.h"
 
@@ -20,7 +21,18 @@ Status CheckpointFileWriter::Open(const std::string& path,
                                   CheckpointType type, uint64_t id,
                                   uint64_t vpoc_lsn,
                                   uint64_t max_bytes_per_sec) {
-  CALCDB_RETURN_NOT_OK(writer_.Open(path, max_bytes_per_sec));
+  std::shared_ptr<TokenBucket> budget;
+  if (max_bytes_per_sec != 0) {
+    budget = std::make_shared<TokenBucket>(max_bytes_per_sec);
+  }
+  return Open(path, type, id, vpoc_lsn, std::move(budget));
+}
+
+Status CheckpointFileWriter::Open(const std::string& path,
+                                  CheckpointType type, uint64_t id,
+                                  uint64_t vpoc_lsn,
+                                  std::shared_ptr<TokenBucket> budget) {
+  CALCDB_RETURN_NOT_OK(writer_.Open(path, std::move(budget)));
   count_ = 0;
   crc_ = 0;
   CALCDB_RETURN_NOT_OK(writer_.Append(kMagic, sizeof(kMagic)));

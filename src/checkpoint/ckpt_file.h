@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <string_view>
 
@@ -44,6 +45,12 @@ class CheckpointFileWriter {
 
   Status Open(const std::string& path, CheckpointType type, uint64_t id,
               uint64_t vpoc_lsn, uint64_t max_bytes_per_sec);
+
+  /// As above, but drawing bandwidth from `budget` (which may be shared
+  /// with other writers — e.g. sibling segment writers of one parallel
+  /// capture — so the configured rate caps their combined output).
+  Status Open(const std::string& path, CheckpointType type, uint64_t id,
+              uint64_t vpoc_lsn, std::shared_ptr<TokenBucket> budget);
 
   Status Append(uint64_t key, std::string_view value);
   Status AppendTombstone(uint64_t key);

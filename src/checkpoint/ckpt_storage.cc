@@ -4,6 +4,8 @@
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
+#include <sstream>
+#include <utility>
 
 #include <sys/stat.h>
 #include <sys/types.h>
@@ -12,7 +14,11 @@ namespace calcdb {
 
 CheckpointStorage::CheckpointStorage(std::string dir,
                                      uint64_t disk_bytes_per_sec)
-    : dir_(std::move(dir)), disk_bytes_per_sec_(disk_bytes_per_sec) {}
+    : dir_(std::move(dir)), disk_bytes_per_sec_(disk_bytes_per_sec) {
+  if (disk_bytes_per_sec_ != 0) {
+    write_budget_ = std::make_shared<TokenBucket>(disk_bytes_per_sec_);
+  }
+}
 
 Status CheckpointStorage::Init() {
   if (::mkdir(dir_.c_str(), 0755) != 0 && errno != EEXIST) {
@@ -28,6 +34,14 @@ std::string CheckpointStorage::PathFor(uint64_t id,
                 static_cast<unsigned long long>(id),
                 type == CheckpointType::kFull ? "full" : "part");
   return dir_ + buf;
+}
+
+std::string CheckpointStorage::SegmentPathFor(uint64_t id,
+                                              CheckpointType type,
+                                              size_t seg) const {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), ".seg%zu", seg);
+  return PathFor(id, type) + buf;
 }
 
 void CheckpointStorage::Register(const CheckpointInfo& info) {
@@ -48,10 +62,15 @@ std::vector<CheckpointInfo> CheckpointStorage::List() const {
 
 std::vector<CheckpointInfo> CheckpointStorage::RecoveryChain() const {
   SpinLatchGuard guard(latch_);
+  return ChainFrom(checkpoints_);
+}
+
+std::vector<CheckpointInfo> CheckpointStorage::ChainFrom(
+    const std::vector<CheckpointInfo>& checkpoints) {
   // Find the newest full checkpoint.
   int full_idx = -1;
-  for (int i = static_cast<int>(checkpoints_.size()) - 1; i >= 0; --i) {
-    if (checkpoints_[i].type == CheckpointType::kFull) {
+  for (int i = static_cast<int>(checkpoints.size()) - 1; i >= 0; --i) {
+    if (checkpoints[i].type == CheckpointType::kFull) {
       full_idx = i;
       break;
     }
@@ -60,8 +79,8 @@ std::vector<CheckpointInfo> CheckpointStorage::RecoveryChain() const {
   // With no full checkpoint yet, the chain is every partial since the
   // (empty) beginning of time — valid when the database started empty.
   size_t start = full_idx < 0 ? 0 : static_cast<size_t>(full_idx);
-  for (size_t i = start; i < checkpoints_.size(); ++i) {
-    chain.push_back(checkpoints_[i]);
+  for (size_t i = start; i < checkpoints.size(); ++i) {
+    chain.push_back(checkpoints[i]);
   }
   return chain;
 }
@@ -75,7 +94,7 @@ Status CheckpointStorage::ReplaceCollapsed(
     for (const CheckpointInfo& c : checkpoints_) {
       if (std::find(retired_ids.begin(), retired_ids.end(), c.id) !=
           retired_ids.end()) {
-        to_delete.push_back(c.path);
+        for (const std::string& f : c.files()) to_delete.push_back(f);
       } else {
         kept.push_back(c);
       }
@@ -99,12 +118,21 @@ Status CheckpointStorage::PersistManifest() const {
   if (f == nullptr) return Status::IOError("open manifest tmp");
   std::vector<CheckpointInfo> snapshot = List();
   for (const CheckpointInfo& c : snapshot) {
-    std::fprintf(f, "%llu %u %llu %llu %s\n",
+    // Single-file checkpoints keep the legacy 5-field line byte-for-byte;
+    // segmented checkpoints append a segment count plus the segment paths.
+    std::fprintf(f, "%llu %u %llu %llu %s",
                  static_cast<unsigned long long>(c.id),
                  static_cast<unsigned>(c.type),
                  static_cast<unsigned long long>(c.vpoc_lsn),
                  static_cast<unsigned long long>(c.num_entries),
                  c.path.c_str());
+    if (!c.segments.empty()) {
+      std::fprintf(f, " %zu", c.segments.size());
+      for (const std::string& seg : c.segments) {
+        std::fprintf(f, " %s", seg.c_str());
+      }
+    }
+    std::fprintf(f, "\n");
   }
   if (std::fflush(f) != 0) {
     std::fclose(f);
@@ -122,22 +150,32 @@ Status CheckpointStorage::LoadManifest() {
   std::FILE* f = std::fopen(ManifestPath().c_str(), "r");
   if (f == nullptr) return Status::NotFound("no manifest in " + dir_);
   std::vector<CheckpointInfo> loaded;
-  char line[4096];
+  char line[8192];
   while (std::fgets(line, sizeof(line), f) != nullptr) {
     CheckpointInfo c;
     unsigned long long id, vpoc, entries;
     unsigned type;
-    char path[3800];
-    if (std::sscanf(line, "%llu %u %llu %llu %3799s", &id, &type, &vpoc,
-                    &entries, path) != 5) {
+    std::istringstream in(line);
+    if (!(in >> id >> type >> vpoc >> entries >> c.path)) {
       std::fclose(f);
       return Status::Corruption("bad manifest line");
+    }
+    // Optional segmented-checkpoint suffix: segment count + paths.
+    size_t nsegs = 0;
+    if (in >> nsegs) {
+      for (size_t i = 0; i < nsegs; ++i) {
+        std::string seg;
+        if (!(in >> seg)) {
+          std::fclose(f);
+          return Status::Corruption("bad manifest segment list");
+        }
+        c.segments.push_back(std::move(seg));
+      }
     }
     c.id = id;
     c.type = static_cast<CheckpointType>(type);
     c.vpoc_lsn = vpoc;
     c.num_entries = entries;
-    c.path = path;
     loaded.push_back(c);
   }
   std::fclose(f);

@@ -3,22 +3,36 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "checkpoint/ckpt_file.h"
 #include "util/latch.h"
 #include "util/status.h"
+#include "util/throttled_file.h"
 
 namespace calcdb {
 
 /// Metadata for one durable checkpoint.
+///
+/// A checkpoint is either a single file (`path`, the legacy layout) or a
+/// set of segment files written by a parallel capture (`segments`; `path`
+/// then holds the base name the segments derive from and no file exists
+/// at it). Use files() to enumerate the actual on-disk files either way.
 struct CheckpointInfo {
   uint64_t id = 0;            ///< monotonically increasing
   CheckpointType type = CheckpointType::kFull;
   uint64_t vpoc_lsn = 0;      ///< commit-log LSN of the point of consistency
   uint64_t num_entries = 0;
   std::string path;
+  std::vector<std::string> segments;  ///< empty for single-file checkpoints
+
+  /// The on-disk files making up this checkpoint: the segment list for a
+  /// segmented checkpoint, else the single legacy file.
+  std::vector<std::string> files() const {
+    return segments.empty() ? std::vector<std::string>{path} : segments;
+  }
 };
 
 /// Directory of durable checkpoints plus the manifest tracking them.
@@ -47,6 +61,10 @@ class CheckpointStorage {
   /// File path for a checkpoint id.
   std::string PathFor(uint64_t id, CheckpointType type) const;
 
+  /// File path for segment `seg` of a parallel (segmented) checkpoint.
+  std::string SegmentPathFor(uint64_t id, CheckpointType type,
+                             size_t seg) const;
+
   /// Registers a completed (Finish()ed) checkpoint in the manifest.
   void Register(const CheckpointInfo& info);
 
@@ -58,6 +76,13 @@ class CheckpointStorage {
   /// order. If no full checkpoint exists, returns every partial (the
   /// chain from the empty initial database).
   std::vector<CheckpointInfo> RecoveryChain() const;
+
+  /// Chain computation over an arbitrary id-ordered checkpoint list: the
+  /// latest full checkpoint plus everything after it (every entry when no
+  /// full exists). Recovery uses this to recompute the chain after
+  /// rejecting a torn checkpoint.
+  static std::vector<CheckpointInfo> ChainFrom(
+      const std::vector<CheckpointInfo>& checkpoints);
 
   /// Atomically replaces checkpoints `retired_ids` with `merged` in the
   /// manifest and deletes the retired files. `merged` must already be
@@ -72,11 +97,20 @@ class CheckpointStorage {
   const std::string& dir() const { return dir_; }
   uint64_t disk_bytes_per_sec() const { return disk_bytes_per_sec_; }
 
+  /// The shared write budget every checkpoint writer must draw from, so
+  /// `disk_bytes_per_sec` caps the *aggregate* checkpoint I/O rate across
+  /// parallel segment writers, the merger and base-checkpoint writes.
+  /// Null when unthrottled.
+  const std::shared_ptr<TokenBucket>& write_budget() const {
+    return write_budget_;
+  }
+
  private:
   std::string ManifestPath() const { return dir_ + "/MANIFEST"; }
 
   std::string dir_;
   uint64_t disk_bytes_per_sec_;
+  std::shared_ptr<TokenBucket> write_budget_;
   std::atomic<uint64_t> next_id_{0};
 
   mutable SpinLatch latch_;

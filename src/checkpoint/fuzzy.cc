@@ -82,7 +82,7 @@ Status FuzzyCheckpointer::RunCheckpointCycle() {
             engine_.ckpt_storage->dir() + "/fuzzy_record_" +
             std::to_string(id) + ".meta";
         CALCDB_RETURN_NOT_OK(record_writer.Open(
-            record_path, engine_.ckpt_storage->disk_bytes_per_sec()));
+            record_path, engine_.ckpt_storage->write_budget()));
         Status write_st;
         dirty_[capture_side]->ForEach(slots_at_poc, [&](uint32_t idx) {
           if (!write_st.ok()) return;
@@ -105,7 +105,7 @@ Status FuzzyCheckpointer::RunCheckpointCycle() {
   CheckpointFileWriter writer;
   CALCDB_RETURN_NOT_OK(
       writer.Open(path, type, id, poc_lsn,
-                  engine_.ckpt_storage->disk_bytes_per_sec()));
+                  engine_.ckpt_storage->write_budget()));
 
   DirtyKeyTracker& dirty = *dirty_[capture_side];
   if (options_.partial) {

@@ -28,17 +28,22 @@ Status CheckpointMerger::CollapseOnce(size_t max_partials,
   std::vector<uint64_t> retired;
   for (size_t i = 0; i <= take; ++i) {
     const CheckpointInfo& info = chain[i];
-    CheckpointFileReader reader;
-    CALCDB_RETURN_NOT_OK(reader.Open(info.path));
-    CALCDB_RETURN_NOT_OK(
-        reader.ReadAll([&](const CheckpointEntry& entry) -> Status {
-          if (entry.tombstone) {
-            merged.erase(entry.key);
-          } else {
-            merged[entry.key] = entry.value;
-          }
-          return Status::OK();
-        }));
+    // Segments of one checkpoint hold disjoint key ranges, so reading
+    // them in file order preserves latest-wins semantics across the
+    // chain.
+    for (const std::string& file : info.files()) {
+      CheckpointFileReader reader;
+      CALCDB_RETURN_NOT_OK(reader.Open(file));
+      CALCDB_RETURN_NOT_OK(
+          reader.ReadAll([&](const CheckpointEntry& entry) -> Status {
+            if (entry.tombstone) {
+              merged.erase(entry.key);
+            } else {
+              merged[entry.key] = entry.value;
+            }
+            return Status::OK();
+          }));
+    }
     retired.push_back(info.id);
   }
   const CheckpointInfo& last = chain[take];
@@ -55,7 +60,7 @@ Status CheckpointMerger::CollapseOnce(size_t max_partials,
   CheckpointFileWriter writer;
   CALCDB_RETURN_NOT_OK(writer.Open(out.path, CheckpointType::kFull, out.id,
                                    out.vpoc_lsn,
-                                   storage_->disk_bytes_per_sec()));
+                                   storage_->write_budget()));
   for (const auto& [key, value] : merged) {
     CALCDB_RETURN_NOT_OK(writer.Append(key, value));
   }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cctype>
 #include <cstdio>
+#include <cstdlib>
 #include <thread>
 
 #include "obs/obs.h"
@@ -83,6 +84,35 @@ bool ParseAlgorithm(const std::string& name, CheckpointAlgorithm* out) {
   return false;
 }
 
+namespace {
+
+// Resolves a 0 = "auto" thread-count option: the environment variable if
+// set to a positive integer, else `fallback`. Lets CI sweep parallel
+// capture/recovery across the existing test suite without touching every
+// Options construction site.
+int ResolveThreadOption(int configured, const char* env_var, int fallback) {
+  if (configured > 0) return configured;
+  const char* env = std::getenv(env_var);
+  if (env != nullptr) {
+    int parsed = std::atoi(env);
+    if (parsed > 0) return parsed;
+  }
+  return fallback;
+}
+
+}  // namespace
+
+int Database::ResolvedCaptureThreads(const Options& options) {
+  return ResolveThreadOption(options.capture_threads,
+                             "CALCDB_CAPTURE_THREADS", 1);
+}
+
+int Database::ResolvedRecoveryThreads(const Options& options) {
+  return ResolveThreadOption(options.recovery_threads,
+                             "CALCDB_RECOVERY_THREADS",
+                             ResolvedCaptureThreads(options));
+}
+
 Database::Database(const Options& options)
     : options_(options),
       pool_(options.use_value_pool ? new ValuePool() : nullptr),
@@ -152,8 +182,8 @@ Status Database::Recover(const CommitLog* replay_log,
   CALCDB_RETURN_NOT_OK(st);
   RecoveryStats local;
   RecoveryStats* s = stats != nullptr ? stats : &local;
-  CALCDB_RETURN_NOT_OK(
-      RecoveryManager::LoadCheckpoints(&ckpt_storage_, store_.get(), s));
+  CALCDB_RETURN_NOT_OK(RecoveryManager::LoadCheckpoints(
+      &ckpt_storage_, store_.get(), s, ResolvedRecoveryThreads(options_)));
   if (replay_log != nullptr) {
     CALCDB_RETURN_NOT_OK(
         RecoveryManager::ReplayLog(*replay_log, registry_, store_.get(), s));
@@ -169,8 +199,7 @@ Status Database::WriteBaseCheckpoint() {
   std::string path = ckpt_storage_.PathFor(id, CheckpointType::kFull);
   CheckpointFileWriter writer;
   CALCDB_RETURN_NOT_OK(writer.Open(path, CheckpointType::kFull, id,
-                                   poc_lsn,
-                                   ckpt_storage_.disk_bytes_per_sec()));
+                                   poc_lsn, ckpt_storage_.write_budget()));
   uint32_t slots = store_->NumSlots();
   for (uint32_t idx = 0; idx < slots; ++idx) {
     Record* rec = store_->ByIndex(idx);
@@ -206,6 +235,7 @@ Status Database::MakeCheckpointer() {
       CalcOptions opts;
       opts.partial = options_.algorithm == CheckpointAlgorithm::kPCalc;
       opts.tracker = options_.dirty_tracker;
+      opts.capture_threads = ResolvedCaptureThreads(options_);
       checkpointer_ = std::make_unique<CalcCheckpointer>(engine, opts);
       return Status::OK();
     }
@@ -348,6 +378,7 @@ std::string Database::GetStatsString() const {
     CheckpointCycleStats last = checkpointer_->last_cycle();
     line("checkpoint.last.records", last.records_written);
     line("checkpoint.last.bytes", last.bytes_written);
+    line("checkpoint.last.segments", last.segments);
     line("checkpoint.last.quiesce_us",
          static_cast<unsigned long long>(last.quiesce_micros));
     line("checkpoint.last.capture_us",

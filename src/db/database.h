@@ -113,6 +113,12 @@ class Database {
   const Options& options() const { return options_; }
   bool started() const { return started_; }
 
+  /// Resolves Options::capture_threads / recovery_threads, applying the
+  /// 0 = auto rule (CALCDB_CAPTURE_THREADS / CALCDB_RECOVERY_THREADS
+  /// environment variables, else 1).
+  static int ResolvedCaptureThreads(const Options& options);
+  static int ResolvedRecoveryThreads(const Options& options);
+
  private:
   explicit Database(const Options& options);
 

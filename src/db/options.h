@@ -55,6 +55,20 @@ struct Options {
   /// Lock-table stripes for the deadlock-free 2PL lock manager.
   size_t lock_stripes = 1 << 16;
 
+  /// Checkpoint capture-phase worker threads (CALC/pCALC). 1 keeps the
+  /// legacy single-file capture; N > 1 shards the slot space into N
+  /// contiguous ranges, each written to its own segment file, with the
+  /// aggregate write rate still capped by `disk_bytes_per_sec`. 0 means
+  /// auto: the CALCDB_CAPTURE_THREADS environment variable if set, else 1.
+  int capture_threads = 0;
+
+  /// Recovery checkpoint-load worker threads. Segments of one checkpoint
+  /// are loaded concurrently (they hold disjoint keys); checkpoints still
+  /// apply in chain order. 0 means auto: CALCDB_RECOVERY_THREADS if set,
+  /// else the capture-thread resolution (segments are best loaded with as
+  /// much parallelism as wrote them).
+  int recovery_threads = 0;
+
   /// Pre-allocate/recycle stable-record memory from a pool (paper §5.1.6).
   bool use_value_pool = true;
 

@@ -1,5 +1,10 @@
 #include "recovery/recovery_manager.h"
 
+#include <atomic>
+#include <functional>
+#include <string>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "checkpoint/admission_gate.h"
@@ -12,32 +17,140 @@
 
 namespace calcdb {
 
+namespace {
+
+/// Runs `fn` over every file with up to `nthreads` workers. Returns the
+/// first Corruption seen (damage always wins), else the first other
+/// non-OK status in file order.
+Status ForEachFileParallel(
+    const std::vector<std::string>& files, int nthreads,
+    const std::function<Status(const std::string&)>& fn) {
+  if (nthreads > static_cast<int>(files.size())) {
+    nthreads = static_cast<int>(files.size());
+  }
+  std::vector<Status> statuses(files.size());
+  if (nthreads <= 1) {
+    for (size_t i = 0; i < files.size(); ++i) statuses[i] = fn(files[i]);
+  } else {
+    std::atomic<size_t> next{0};
+    auto worker = [&] {
+      for (;;) {
+        size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= files.size()) return;
+        statuses[i] = fn(files[i]);
+      }
+    };
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<size_t>(nthreads) - 1);
+    for (int t = 1; t < nthreads; ++t) threads.emplace_back(worker);
+    worker();
+    for (std::thread& t : threads) t.join();
+  }
+  for (const Status& st : statuses) {
+    if (st.IsCorruption()) return st;
+  }
+  for (const Status& st : statuses) {
+    if (!st.ok()) return st;
+  }
+  return Status::OK();
+}
+
+/// Reads every entry and the footer of one checkpoint file without
+/// applying anything. A short read (IOError) means the file is torn; a
+/// CRC / count mismatch means Corruption.
+Status ValidateCheckpointFile(const std::string& path) {
+  CheckpointFileReader reader;
+  CALCDB_RETURN_NOT_OK(reader.Open(path));
+  return reader.ReadAll(
+      [](const CheckpointEntry&) -> Status { return Status::OK(); });
+}
+
+/// Applies one (already validated) checkpoint file into the store.
+Status ApplyCheckpointFile(const std::string& path, KVStore* store,
+                           std::atomic<uint64_t>* entries_applied) {
+  CheckpointFileReader reader;
+  CALCDB_RETURN_NOT_OK(reader.Open(path));
+  uint64_t applied = 0;
+  Status st = reader.ReadAll([&](const CheckpointEntry& entry) -> Status {
+    ++applied;
+    CALCDB_COUNTER_ADD("calcdb.recovery.entries_applied", 1);
+    CALCDB_COUNTER_ADD("calcdb.recovery.checkpoint_read_bytes",
+                       entry.value.size() + sizeof(entry.key));
+    if (entry.tombstone) {
+      // Deleting an absent key is fine: a partial may tombstone a
+      // record the loaded base never contained.
+      store->Delete(entry.key);
+      return Status::OK();
+    }
+    return store->Put(entry.key, entry.value);
+  });
+  entries_applied->fetch_add(applied, std::memory_order_relaxed);
+  return st;
+}
+
+}  // namespace
+
 Status RecoveryManager::LoadCheckpoints(CheckpointStorage* storage,
-                                        KVStore* store,
-                                        RecoveryStats* stats) {
+                                        KVStore* store, RecoveryStats* stats,
+                                        int load_threads) {
   Stopwatch sw;
   CALCDB_TRACE_SPAN(load_span, "load_checkpoints", "recovery", 0);
-  std::vector<CheckpointInfo> chain = storage->RecoveryChain();
+  if (load_threads < 1) load_threads = 1;
+
+  // Validate the whole chain before applying anything: a torn segment
+  // must reject its checkpoint before any sibling segment touches the
+  // store, and rejection shortens the chain — so validation and
+  // application cannot be interleaved.
+  std::vector<CheckpointInfo> candidates = storage->List();
+  std::vector<CheckpointInfo> chain;
+  for (;;) {
+    chain = CheckpointStorage::ChainFrom(candidates);
+    uint64_t torn_id = 0;
+    bool torn = false;
+    for (const CheckpointInfo& info : chain) {
+      Status st = ForEachFileParallel(info.files(), load_threads,
+                                      ValidateCheckpointFile);
+      if (st.ok()) continue;
+      if (st.IsCorruption()) return st;  // damage: fail loudly
+      // Short read / missing file: a crash artifact — fall back.
+      torn = true;
+      torn_id = info.id;
+      break;
+    }
+    if (!torn) break;
+    // Reject the torn checkpoint and everything after it: a later partial
+    // layered onto the older surviving base would claim a too-new replay
+    // LSN and silently lose the torn checkpoint's window of commits.
+    // Command-log replay from the surviving chain's point of consistency
+    // re-covers the whole discarded window.
+    std::vector<CheckpointInfo> kept;
+    for (CheckpointInfo& c : candidates) {
+      if (c.id < torn_id) {
+        kept.push_back(std::move(c));
+      } else {
+        ++stats->checkpoints_rejected;
+        CALCDB_COUNTER_ADD("calcdb.recovery.checkpoints_rejected", 1);
+      }
+    }
+    candidates = std::move(kept);
+  }
+
+  // Apply checkpoints strictly in chain order (latest wins across
+  // checkpoints); within one checkpoint the segment files hold disjoint
+  // keys, so the worker pool loads them concurrently.
+  std::atomic<uint64_t> entries_applied{0};
   for (const CheckpointInfo& info : chain) {
-    CheckpointFileReader reader;
-    CALCDB_RETURN_NOT_OK(reader.Open(info.path));
-    CALCDB_RETURN_NOT_OK(
-        reader.ReadAll([&](const CheckpointEntry& entry) -> Status {
-          ++stats->entries_applied;
-          CALCDB_COUNTER_ADD("calcdb.recovery.entries_applied", 1);
-          CALCDB_COUNTER_ADD("calcdb.recovery.checkpoint_read_bytes",
-                             entry.value.size() + sizeof(entry.key));
-          if (entry.tombstone) {
-            // Deleting an absent key is fine: a partial may tombstone a
-            // record the loaded base never contained.
-            store->Delete(entry.key);
-            return Status::OK();
-          }
-          return store->Put(entry.key, entry.value);
+    std::vector<std::string> files = info.files();
+    CALCDB_RETURN_NOT_OK(ForEachFileParallel(
+        files, load_threads, [&](const std::string& path) -> Status {
+          return ApplyCheckpointFile(path, store, &entries_applied);
         }));
+    stats->segments_loaded += files.size();
+    CALCDB_COUNTER_ADD("calcdb.recovery.segments_loaded", files.size());
     ++stats->checkpoints_loaded;
     stats->replay_from_lsn = info.vpoc_lsn;
   }
+  stats->entries_applied += entries_applied.load(std::memory_order_relaxed);
   stats->load_micros = sw.ElapsedMicros();
   return Status::OK();
 }
@@ -88,8 +201,9 @@ Status RecoveryManager::ReplayLog(const CommitLog& log,
 Status RecoveryManager::Recover(CheckpointStorage* storage,
                                 const CommitLog& log,
                                 const ProcedureRegistry& registry,
-                                KVStore* store, RecoveryStats* stats) {
-  CALCDB_RETURN_NOT_OK(LoadCheckpoints(storage, store, stats));
+                                KVStore* store, RecoveryStats* stats,
+                                int load_threads) {
+  CALCDB_RETURN_NOT_OK(LoadCheckpoints(storage, store, stats, load_threads));
   return ReplayLog(log, registry, store, stats);
 }
 

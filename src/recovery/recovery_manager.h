@@ -15,6 +15,8 @@ namespace calcdb {
 /// merge component of this as "recovery time").
 struct RecoveryStats {
   uint64_t checkpoints_loaded = 0;
+  uint64_t checkpoints_rejected = 0;  ///< torn (crash-artifact) checkpoints
+  uint64_t segments_loaded = 0;       ///< checkpoint files applied
   uint64_t entries_applied = 0;
   uint64_t txns_replayed = 0;
   int64_t load_micros = 0;    ///< checkpoint chain load + merge time
@@ -37,8 +39,21 @@ class RecoveryManager {
   /// Loads the manifest's recovery chain into `store` (which should be
   /// empty). Sets `*replay_from_lsn` to the last loaded checkpoint's
   /// point-of-consistency LSN (0 with no checkpoints).
+  ///
+  /// Every chain member is validated (all segment footers + CRCs) before
+  /// anything is applied. A checkpoint with a torn file — a short read,
+  /// the signature of a crash mid-write or mid-truncation — is rejected
+  /// together with every later checkpoint, and the chain is recomputed
+  /// from the surviving prefix; command-log replay from the older point
+  /// of consistency re-covers the discarded window. A checkpoint whose
+  /// bytes are present but wrong (CRC / entry-count mismatch) fails
+  /// loudly with Corruption: that is damage, not a crash artifact.
+  ///
+  /// `load_threads > 1` loads the segment files of each checkpoint with a
+  /// parallel worker pool (segments of one checkpoint hold disjoint keys;
+  /// checkpoints still apply in chain order so latest-wins is preserved).
   static Status LoadCheckpoints(CheckpointStorage* storage, KVStore* store,
-                                RecoveryStats* stats);
+                                RecoveryStats* stats, int load_threads = 1);
 
   /// Replays committed transactions with LSN > stats->replay_from_lsn.
   static Status ReplayLog(const CommitLog& log,
@@ -48,7 +63,7 @@ class RecoveryManager {
   /// LoadCheckpoints + ReplayLog.
   static Status Recover(CheckpointStorage* storage, const CommitLog& log,
                         const ProcedureRegistry& registry, KVStore* store,
-                        RecoveryStats* stats);
+                        RecoveryStats* stats, int load_threads = 1);
 };
 
 }  // namespace calcdb

@@ -2,6 +2,7 @@
 
 #include <cerrno>
 #include <cstring>
+#include <utility>
 
 #include <unistd.h>
 
@@ -10,54 +11,69 @@
 
 namespace calcdb {
 
+TokenBucket::TokenBucket(uint64_t rate_bytes_per_sec)
+    : rate_(rate_bytes_per_sec),
+      burst_(static_cast<double>(rate_bytes_per_sec) / 100.0) {
+  tokens_ = burst_;  // ~10ms of initial credit
+  last_refill_us_ = NowMicros();
+}
+
+void TokenBucket::Consume(size_t n) {
+  if (rate_ == 0) return;
+  const double rate = static_cast<double>(rate_);
+  // Debt model: charge the balance immediately under the latch, then sleep
+  // outside it until the refill stream repays this caller's share. Each
+  // concurrent consumer deepens the shared debt before sleeping, so the
+  // wake times of all sharers stack up and the aggregate rate stays within
+  // budget no matter how many writers draw from the bucket.
+  int64_t wake_us;
+  {
+    SpinLatchGuard guard(latch_);
+    int64_t now = NowMicros();
+    tokens_ += rate * static_cast<double>(now - last_refill_us_) / 1e6;
+    if (tokens_ > burst_) tokens_ = burst_;
+    last_refill_us_ = now;
+    tokens_ -= static_cast<double>(n);
+    if (tokens_ >= 0) return;
+    wake_us = now + static_cast<int64_t>(-tokens_ / rate * 1e6) + 1;
+  }
+  CALCDB_OBS_ONLY(int64_t stall_start_us = NowMicros();)
+  for (;;) {
+    int64_t now = NowMicros();
+    if (now >= wake_us) break;
+    int64_t sleep_us = wake_us - now;
+    if (sleep_us > 20000) sleep_us = 20000;
+    SleepMicros(sleep_us);
+  }
+#if CALCDB_OBS_ENABLED
+  CALCDB_COUNTER_ADD("calcdb.io.throttle_stalls", 1);
+  CALCDB_COUNTER_ADD("calcdb.io.throttle_stall_us",
+                     static_cast<uint64_t>(NowMicros() - stall_start_us));
+#endif
+}
+
 ThrottledFileWriter::~ThrottledFileWriter() { Close(); }
 
 Status ThrottledFileWriter::Open(const std::string& path,
                                  uint64_t max_bytes_per_sec) {
+  std::shared_ptr<TokenBucket> budget;
+  if (max_bytes_per_sec != 0) {
+    budget = std::make_shared<TokenBucket>(max_bytes_per_sec);
+  }
+  return Open(path, std::move(budget));
+}
+
+Status ThrottledFileWriter::Open(const std::string& path,
+                                 std::shared_ptr<TokenBucket> budget) {
   if (file_ != nullptr) return Status::InvalidArgument("already open");
   file_ = std::fopen(path.c_str(), "wb");
   if (file_ == nullptr) {
     return Status::IOError("open " + path + ": " + std::strerror(errno));
   }
   path_ = path;
-  max_bytes_per_sec_ = max_bytes_per_sec;
   bytes_written_ = 0;
-  tokens_ = static_cast<double>(max_bytes_per_sec) / 100.0;  // ~10ms burst
-  last_refill_us_ = NowMicros();
+  budget_ = std::move(budget);
   return Status::OK();
-}
-
-void ThrottledFileWriter::ThrottleFor(size_t n) {
-  if (max_bytes_per_sec_ == 0) return;
-  const double rate = static_cast<double>(max_bytes_per_sec_);
-  const double burst = rate / 100.0;  // at most 10ms of stored credit
-  // Debt model: spend the bytes immediately (tokens may go negative up to
-  // one chunk), then sleep until the balance is repaid. This keeps large
-  // appends smooth without requiring the bucket to ever hold a full
-  // chunk's worth of credit.
-  int64_t now = NowMicros();
-  tokens_ += rate * static_cast<double>(now - last_refill_us_) / 1e6;
-  if (tokens_ > burst) tokens_ = burst;
-  last_refill_us_ = now;
-  tokens_ -= static_cast<double>(n);
-  CALCDB_OBS_ONLY(bool stalled = false; int64_t stall_start_us = now;)
-  while (tokens_ < 0) {
-    CALCDB_OBS_ONLY(stalled = true;)
-    int64_t sleep_us = static_cast<int64_t>(-tokens_ / rate * 1e6) + 1;
-    if (sleep_us > 20000) sleep_us = 20000;
-    SleepMicros(sleep_us);
-    now = NowMicros();
-    tokens_ += rate * static_cast<double>(now - last_refill_us_) / 1e6;
-    last_refill_us_ = now;
-  }
-#if CALCDB_OBS_ENABLED
-  if (stalled) {
-    CALCDB_COUNTER_ADD("calcdb.io.throttle_stalls", 1);
-    CALCDB_COUNTER_ADD("calcdb.io.throttle_stall_us",
-                       static_cast<uint64_t>(now - stall_start_us));
-  }
-#endif
-  if (tokens_ > burst) tokens_ = burst;
 }
 
 Status ThrottledFileWriter::Append(const void* data, size_t n) {
@@ -68,7 +84,7 @@ Status ThrottledFileWriter::Append(const void* data, size_t n) {
   size_t remaining = n;
   while (remaining > 0) {
     size_t chunk = remaining < 65536 ? remaining : 65536;
-    ThrottleFor(chunk);
+    if (budget_ != nullptr) budget_->Consume(chunk);
     if (std::fwrite(p, 1, chunk, file_) != chunk) {
       return Status::IOError("write " + path_ + ": " +
                              std::strerror(errno));

@@ -3,11 +3,49 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <memory>
 #include <string>
 
+#include "util/latch.h"
 #include "util/status.h"
 
 namespace calcdb {
+
+/// A thread-safe token bucket metering a byte budget refilled at a fixed
+/// rate from the monotonic clock (util/clock.h's steady_clock source, so
+/// wall-clock jumps never mint or destroy credit).
+///
+/// One bucket may be shared by any number of writers: the token ledger is
+/// a single balance guarded by a spin latch, so the *aggregate* rate of
+/// all consumers is bounded by `rate_bytes_per_sec`, not each consumer
+/// individually. Consume() uses a debt model — the balance is charged
+/// immediately (it may go negative without bound while many writers pile
+/// on) and the caller sleeps, outside the latch, until the moment the
+/// refill stream repays its share of the debt. A rate of 0 disables
+/// metering entirely.
+class TokenBucket {
+ public:
+  /// `rate_bytes_per_sec == 0` means unmetered. The bucket starts with
+  /// ~10ms of burst credit and never stores more than that.
+  explicit TokenBucket(uint64_t rate_bytes_per_sec);
+
+  TokenBucket(const TokenBucket&) = delete;
+  TokenBucket& operator=(const TokenBucket&) = delete;
+
+  /// Charges `n` bytes against the budget, sleeping as needed so that the
+  /// aggregate consumption across all sharers stays within the rate.
+  void Consume(size_t n);
+
+  uint64_t rate_bytes_per_sec() const { return rate_; }
+
+ private:
+  const uint64_t rate_;
+  const double burst_;  // max stored credit, in bytes (~10ms of rate)
+
+  SpinLatch latch_;
+  double tokens_ CALCDB_GUARDED_BY(latch_) = 0;
+  int64_t last_refill_us_ CALCDB_GUARDED_BY(latch_) = 0;
+};
 
 /// A buffered sequential file writer with an optional token-bucket
 /// bandwidth cap.
@@ -19,6 +57,10 @@ namespace calcdb {
 /// throughput-over-time figures would lose their capture windows, so the
 /// benchmark harness throttles checkpoint output to a configurable rate
 /// (default 125 MB/s) through this class. A rate of 0 disables throttling.
+///
+/// Several writers opened against the same TokenBucket share one budget:
+/// the configured rate caps their combined output (this is how parallel
+/// checkpoint segment writers keep `--ckpt_write_mb_s` an aggregate cap).
 class ThrottledFileWriter {
  public:
   ThrottledFileWriter() = default;
@@ -28,8 +70,13 @@ class ThrottledFileWriter {
   ThrottledFileWriter& operator=(const ThrottledFileWriter&) = delete;
 
   /// Opens (creates/truncates) `path`. `max_bytes_per_sec == 0` means
-  /// unthrottled.
+  /// unthrottled. The budget is private to this writer.
   Status Open(const std::string& path, uint64_t max_bytes_per_sec);
+
+  /// Opens (creates/truncates) `path`, drawing bandwidth from `budget`,
+  /// which may be shared with other writers. A null budget means
+  /// unthrottled.
+  Status Open(const std::string& path, std::shared_ptr<TokenBucket> budget);
 
   /// Appends `n` bytes, blocking as needed to respect the bandwidth cap.
   Status Append(const void* data, size_t n);
@@ -44,15 +91,10 @@ class ThrottledFileWriter {
   bool is_open() const { return file_ != nullptr; }
 
  private:
-  void ThrottleFor(size_t n);
-
   std::FILE* file_ = nullptr;
   std::string path_;
-  uint64_t max_bytes_per_sec_ = 0;
   uint64_t bytes_written_ = 0;
-  // Token bucket state.
-  double tokens_ = 0;
-  int64_t last_refill_us_ = 0;
+  std::shared_ptr<TokenBucket> budget_;
 };
 
 /// Buffered sequential reader matching ThrottledFileWriter output. Reads

@@ -374,18 +374,20 @@ TEST(PCalcWhiteboxTest, DeleteEmitsTombstoneInPartial) {
 
   std::vector<CheckpointInfo> list = db->checkpoint_storage()->List();
   ASSERT_EQ(list.size(), 1u);
-  CheckpointFileReader reader;
-  ASSERT_TRUE(reader.Open(list[0].path).ok());
   int tombstones = 0;
-  ASSERT_TRUE(reader
-                  .ReadAll([&](const CheckpointEntry& entry) -> Status {
-                    if (entry.tombstone) {
-                      EXPECT_EQ(entry.key, 5u);
-                      ++tombstones;
-                    }
-                    return Status::OK();
-                  })
-                  .ok());
+  for (const std::string& file : list[0].files()) {
+    CheckpointFileReader reader;
+    ASSERT_TRUE(reader.Open(file).ok());
+    ASSERT_TRUE(reader
+                    .ReadAll([&](const CheckpointEntry& entry) -> Status {
+                      if (entry.tombstone) {
+                        EXPECT_EQ(entry.key, 5u);
+                        ++tombstones;
+                      }
+                      return Status::OK();
+                    })
+                    .ok());
+  }
   EXPECT_EQ(tombstones, 1);
 }
 

@@ -128,6 +128,97 @@ TEST_P(RaceHuntCheckpointTest, MutatorVsCheckpointerSameRecords) {
   EXPECT_EQ(live, replayed);
 }
 
+// R6: parallel segmented capture (capture_threads=4) racing mutators. The
+// capture workers partition the slot space and run CaptureRecord
+// concurrently with each other *and* with post-VPoC writers installing
+// stable versions — the exact interleaving pCALC's per-record latch and
+// stable-status stamps must make safe. End-state replay equivalence plus
+// a chain audit (every segment footer + CRC intact, chain state equals
+// the ground truth at the last VPoC) catch torn or double-captured slots.
+class RaceHuntParallelCaptureTest
+    : public ::testing::TestWithParam<CheckpointAlgorithm> {};
+
+TEST_P(RaceHuntParallelCaptureTest, SegmentedCaptureVsMutators) {
+  TempDir dir;
+  MicrobenchConfig workload_config;
+  workload_config.num_records = 48;
+  workload_config.value_size = 40;
+  workload_config.ops_per_txn = 6;
+  workload_config.hot_fraction = 1.0;
+
+  Options options;
+  options.max_records = workload_config.num_records + 8;
+  options.algorithm = GetParam();
+  options.checkpoint_dir = dir.path();
+  options.disk_bytes_per_sec = 0;
+  options.capture_threads = 4;
+
+  std::unique_ptr<Database> db;
+  ASSERT_TRUE(Database::Open(options, &db).ok());
+  ASSERT_TRUE(SetupMicrobench(db.get(), workload_config).ok());
+  ASSERT_TRUE(db->WriteBaseCheckpoint().ok());
+  ASSERT_TRUE(db->Start().ok());
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> mutators;
+  for (int t = 0; t < 3; ++t) {
+    mutators.emplace_back([&, t] {
+      Rng rng(73u + static_cast<uint64_t>(t));
+      uint64_t keys[6];
+      while (!stop.load(std::memory_order_acquire)) {
+        uint32_t n =
+            2 + static_cast<uint32_t>(rng.Uniform(
+                    static_cast<uint64_t>(workload_config.ops_per_txn - 1)));
+        for (uint32_t i = 0; i < n; ++i) {
+          keys[i] = rng.Uniform(workload_config.num_records);
+        }
+        db->executor()
+            ->Execute(kRmwProcId, RmwProcedure::MakeArgs(keys, n), 0)
+            .ok();
+      }
+    });
+  }
+
+  const int kCheckpoints =
+      static_cast<int>(ScaledThreshold(6, /*min=*/2));
+  for (int c = 0; c < kCheckpoints; ++c) {
+    ASSERT_TRUE(db->Checkpoint().ok());
+  }
+  stop.store(true, std::memory_order_release);
+  for (auto& t : mutators) t.join();
+
+  StateMap live = DbToMap(db.get());
+  StateMap replayed = testing_util::ReplayGroundTruth(
+      *db->commit_log(), db->commit_log()->Size(), options,
+      [&](Database* fresh) {
+        ASSERT_TRUE(SetupMicrobench(fresh, workload_config).ok());
+      });
+  EXPECT_EQ(live, replayed);
+
+  // Chain audit: the segmented chain must materialize exactly the ground
+  // truth at the final checkpoint's point of consistency.
+  std::vector<CheckpointInfo> chain =
+      db->checkpoint_storage()->RecoveryChain();
+  ASSERT_FALSE(chain.empty());
+  EXPECT_FALSE(chain.back().segments.empty());
+  StateMap from_chain;
+  ASSERT_TRUE(testing_util::ChainToMap(chain, &from_chain).ok());
+  StateMap at_vpoc = testing_util::ReplayGroundTruth(
+      *db->commit_log(), chain.back().vpoc_lsn, options,
+      [&](Database* fresh) {
+        ASSERT_TRUE(SetupMicrobench(fresh, workload_config).ok());
+      });
+  EXPECT_EQ(from_chain, at_vpoc);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CalcVariants, RaceHuntParallelCaptureTest,
+    ::testing::Values(CheckpointAlgorithm::kCalc,
+                      CheckpointAlgorithm::kPCalc),
+    [](const ::testing::TestParamInfo<CheckpointAlgorithm>& info) {
+      return AlgorithmName(info.param);
+    });
+
 INSTANTIATE_TEST_SUITE_P(
     AllAlgorithms, RaceHuntCheckpointTest,
     ::testing::Values(

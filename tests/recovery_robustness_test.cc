@@ -2,7 +2,12 @@
 // the very crash they protect against must never be loaded; the manifest
 // is the source of truth; stray and torn files are harmless.
 
+#include <sys/stat.h>
+#include <unistd.h>
+
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "gtest/gtest.h"
 #include "tests/test_util.h"
@@ -97,7 +102,9 @@ TEST(RecoveryRobustnessTest, CorruptRegisteredCheckpointFailsLoudly) {
     ASSERT_TRUE(SetupMicrobench(db.get(), config).ok());
     ASSERT_TRUE(db->Start().ok());
     ASSERT_TRUE(db->Checkpoint().ok());
-    ckpt_path = db->checkpoint_storage()->List()[0].path;
+    // files() resolves to the single legacy file or the first segment of
+    // a parallel capture; corrupting either must fail recovery loudly.
+    ckpt_path = db->checkpoint_storage()->List()[0].files()[0];
   }
   // Flip a byte in the middle of a registered checkpoint.
   FILE* f = fopen(ckpt_path.c_str(), "r+b");
@@ -112,6 +119,70 @@ TEST(RecoveryRobustnessTest, CorruptRegisteredCheckpointFailsLoudly) {
   ASSERT_TRUE(Database::Open(options, &recovered).ok());
   RecoveryStats stats;
   EXPECT_TRUE(recovered->Recover(nullptr, &stats).IsCorruption());
+}
+
+// A registered segmented checkpoint with one torn segment is a crash
+// artifact, not bit rot: recovery must reject the whole checkpoint (all
+// segment footers durable or nothing) and restore from the previous
+// chain instead of failing or loading a partial slice of the keyspace.
+TEST(RecoveryRobustnessTest, TornSegmentFallsBackToPreviousCheckpoint) {
+  TempDir dir;
+  Options options = MakeOptions(dir.path());
+  options.capture_threads = 4;  // force segmented capture
+  MicrobenchConfig config = SmallConfig();
+
+  StateMap at_first_poc;
+  std::vector<std::string> second_segments;
+  {
+    std::unique_ptr<Database> db;
+    ASSERT_TRUE(Database::Open(options, &db).ok());
+    ASSERT_TRUE(SetupMicrobench(db.get(), config).ok());
+    ASSERT_TRUE(db->Start().ok());
+    MicrobenchWorkload workload(config);
+    Rng rng(11);
+    for (int i = 0; i < 120; ++i) {
+      TxnRequest req = workload.Next(rng);
+      ASSERT_TRUE(
+          db->executor()->Execute(req.proc_id, std::move(req.args), 0).ok());
+    }
+    ASSERT_TRUE(db->Checkpoint().ok());
+    at_first_poc = testing_util::ReplayGroundTruth(
+        *db->commit_log(),
+        db->checkpoint_storage()->List().back().vpoc_lsn, options,
+        [&](Database* fresh) {
+          ASSERT_TRUE(SetupMicrobench(fresh, config).ok());
+        });
+    for (int i = 0; i < 120; ++i) {
+      TxnRequest req = workload.Next(rng);
+      ASSERT_TRUE(
+          db->executor()->Execute(req.proc_id, std::move(req.args), 0).ok());
+    }
+    ASSERT_TRUE(db->Checkpoint().ok());
+    second_segments = db->checkpoint_storage()->List().back().segments;
+  }
+  ASSERT_EQ(second_segments.size(), 4u);
+
+  // Truncate one segment of the newest checkpoint mid-record.
+  const std::string& victim = second_segments[1];
+  struct stat st;
+  ASSERT_EQ(stat(victim.c_str(), &st), 0);
+  ASSERT_GT(st.st_size, 64);
+  ASSERT_EQ(truncate(victim.c_str(), st.st_size / 2), 0);
+
+  std::unique_ptr<Database> recovered;
+  ASSERT_TRUE(Database::Open(options, &recovered).ok());
+  recovered->registry()->Register(
+      std::make_unique<RmwProcedure>(config.value_size));
+  recovered->registry()->Register(
+      std::make_unique<BatchWriteProcedure>(config.value_size));
+  RecoveryStats stats;
+  ASSERT_TRUE(recovered->Recover(nullptr, &stats).ok());
+  EXPECT_EQ(stats.checkpoints_rejected, 1u);
+  EXPECT_EQ(stats.checkpoints_loaded, 1u);
+  EXPECT_EQ(stats.replay_from_lsn,
+            recovered->checkpoint_storage()->List().front().vpoc_lsn);
+  ASSERT_TRUE(recovered->Start().ok());
+  EXPECT_EQ(DbToMap(recovered.get()), at_first_poc);
 }
 
 // Replaying with zero checkpoints restores the full history, including

@@ -101,17 +101,19 @@ using StateMap = std::map<uint64_t, std::string>;
 inline Status ChainToMap(const std::vector<CheckpointInfo>& chain,
                          StateMap* out) {
   for (const CheckpointInfo& info : chain) {
-    CheckpointFileReader reader;
-    CALCDB_RETURN_NOT_OK(reader.Open(info.path));
-    CALCDB_RETURN_NOT_OK(
-        reader.ReadAll([&](const CheckpointEntry& e) -> Status {
-          if (e.tombstone) {
-            out->erase(e.key);
-          } else {
-            (*out)[e.key] = e.value;
-          }
-          return Status::OK();
-        }));
+    for (const std::string& file : info.files()) {
+      CheckpointFileReader reader;
+      CALCDB_RETURN_NOT_OK(reader.Open(file));
+      CALCDB_RETURN_NOT_OK(
+          reader.ReadAll([&](const CheckpointEntry& e) -> Status {
+            if (e.tombstone) {
+              out->erase(e.key);
+            } else {
+              (*out)[e.key] = e.value;
+            }
+            return Status::OK();
+          }));
+    }
   }
   return Status::OK();
 }

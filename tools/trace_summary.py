@@ -7,7 +7,10 @@ This script is the no-browser companion: it validates the format and
 prints, from the shell,
 
   * per-(category, name) event counts and duration stats for complete
-    ('X') events, instant ('i') counts;
+    ('X') events, instant ('i') counts; the per-segment spans emitted by
+    a parallel capture (capture.seg0, capture.seg1, ...) are grouped
+    under one 'capture.seg*' row so a 16-way capture doesn't dominate
+    the table (the timeline still shows each segment individually);
   * the checkpoint-phase timeline (cat=ckpt spans in time order), the
     CALC rest/prepare/resolve/capture/complete story of docs/PAPER.md
     Figure 1 as text.
@@ -54,10 +57,19 @@ def fmt_us(us):
     return f"{us}us"
 
 
+def coalesce_name(name):
+    """Table-row label for a span name: the per-segment capture spans of
+    one parallel checkpoint ('capture.seg0' ... 'capture.seg15', overflow
+    'capture.seg+') all report as a single 'capture.seg*' row."""
+    if name.startswith("capture.seg"):
+        return "capture.seg*"
+    return name
+
+
 def print_table(events):
     groups = {}
     for ev in events:
-        key = (ev["cat"], ev["name"], ev["ph"])
+        key = (ev["cat"], coalesce_name(ev["name"]), ev["ph"])
         groups.setdefault(key, []).append(ev)
     print(f"{'cat':<10} {'name':<18} {'ph':<2} {'count':>7} "
           f"{'total':>10} {'mean':>10} {'max':>10}")
