@@ -8,6 +8,7 @@
 #include "obs/obs.h"
 #include "storage/memory_tracker.h"
 #include "util/clock.h"
+#include "util/fault_injection.h"
 
 namespace calcdb {
 
@@ -314,6 +315,11 @@ Status CalcCheckpointer::CaptureSegmented(uint32_t slot_limit,
           options_.partial ? dirty_indices[i] : static_cast<uint32_t>(i);
       seg.status = CaptureRecord(*engine_.store->ByIndex(idx), &writer);
     }
+    // Worker-thread context: route the injected Status into the segment's
+    // status slot by hand (CALCDB_RETURN_NOT_OK can't return from here).
+    if (seg.status.ok()) {
+      seg.status = CALCDB_FAULT_STATUS("ckpt.segment.finish");
+    }
     if (seg.status.ok()) seg.status = writer.Finish();
     seg.entries = writer.entries_written();
     seg.bytes = writer.bytes_written();
@@ -477,6 +483,9 @@ Status CalcCheckpointer::RunCheckpointCycle() {
   // --- Back to rest ------------------------------------------------------
   engine_.log->AppendPhaseTransition(Phase::kRest, id, engine_.phases);
 
+  // A crash here leaves fully-written checkpoint files that the manifest
+  // never lists: recovery ignores them and replays the tail from the log.
+  CALCDB_FAULT_POINT("ckpt.register");
   engine_.ckpt_storage->Register(info);
   CALCDB_RETURN_NOT_OK(engine_.ckpt_storage->PersistManifest());
 

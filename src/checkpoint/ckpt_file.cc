@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "util/crc32.h"
+#include "util/fault_injection.h"
 
 namespace calcdb {
 
@@ -35,6 +36,9 @@ Status CheckpointFileWriter::Open(const std::string& path,
   CALCDB_RETURN_NOT_OK(writer_.Open(path, std::move(budget)));
   count_ = 0;
   crc_ = 0;
+  // A crash here leaves an empty (headerless) file: recovery must reject
+  // it as torn, not corrupt.
+  CALCDB_FAULT_POINT("ckpt_file.header");
   CALCDB_RETURN_NOT_OK(writer_.Append(kMagic, sizeof(kMagic)));
   CALCDB_RETURN_NOT_OK(writer_.Append(&kVersion, sizeof(kVersion)));
   uint8_t t = static_cast<uint8_t>(type);
@@ -50,6 +54,7 @@ Status CheckpointFileWriter::AppendRaw(const void* data, size_t n) {
 }
 
 Status CheckpointFileWriter::Append(uint64_t key, std::string_view value) {
+  CALCDB_FAULT_POINT("ckpt_file.body");
   CALCDB_RETURN_NOT_OK(AppendRaw(&key, sizeof(key)));
   uint8_t flags = 0;
   CALCDB_RETURN_NOT_OK(AppendRaw(&flags, sizeof(flags)));
@@ -61,6 +66,7 @@ Status CheckpointFileWriter::Append(uint64_t key, std::string_view value) {
 }
 
 Status CheckpointFileWriter::AppendTombstone(uint64_t key) {
+  CALCDB_FAULT_POINT("ckpt_file.body");
   CALCDB_RETURN_NOT_OK(AppendRaw(&key, sizeof(key)));
   uint8_t flags = kTombstoneFlag;
   CALCDB_RETURN_NOT_OK(AppendRaw(&flags, sizeof(flags)));
@@ -69,10 +75,16 @@ Status CheckpointFileWriter::AppendTombstone(uint64_t key) {
 }
 
 Status CheckpointFileWriter::Finish() {
+  // Dying before the footer leaves a torn-but-headered file; dying after
+  // the footer but before Close's fsync leaves a file whose bytes may or
+  // may not have reached disk — either way recovery must fall back to
+  // the previous chain, never report Corruption.
+  CALCDB_FAULT_POINT("ckpt_file.footer");
   CALCDB_RETURN_NOT_OK(writer_.Append(&kFooterKey, sizeof(kFooterKey)));
   CALCDB_RETURN_NOT_OK(writer_.Append(&kFooterFlags, sizeof(kFooterFlags)));
   CALCDB_RETURN_NOT_OK(writer_.Append(&count_, sizeof(count_)));
   CALCDB_RETURN_NOT_OK(writer_.Append(&crc_, sizeof(crc_)));
+  CALCDB_FAULT_POINT("ckpt_file.fsync");
   return writer_.Close();
 }
 

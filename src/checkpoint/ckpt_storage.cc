@@ -7,8 +7,12 @@
 #include <sstream>
 #include <utility>
 
+#include <fcntl.h>
 #include <sys/stat.h>
 #include <sys/types.h>
+#include <unistd.h>
+
+#include "util/fault_injection.h"
 
 namespace calcdb {
 
@@ -134,11 +138,33 @@ Status CheckpointStorage::PersistManifest() const {
     }
     std::fprintf(f, "\n");
   }
+  // A crash before the flush/fsync leaves a stale manifest + dead .tmp;
+  // recovery just sees the previous chain. CALCDB_FAULT_STATUS (not
+  // _POINT) so an injected *error* still closes f and removes the tmp.
+  Status fault_st = CALCDB_FAULT_STATUS("manifest.write");
+  if (!fault_st.ok()) {
+    std::fclose(f);
+    std::remove(tmp.c_str());
+    return fault_st;
+  }
   if (std::fflush(f) != 0) {
     std::fclose(f);
     return Status::IOError("flush manifest");
   }
+  // fsync before the rename: otherwise the rename can survive a power
+  // cut while the manifest *contents* do not, which would surface old
+  // bytes under the new name.
+  if (::fsync(::fileno(f)) != 0) {
+    std::fclose(f);
+    return Status::IOError("fsync manifest: " +
+                           std::string(std::strerror(errno)));
+  }
   std::fclose(f);
+  fault_st = CALCDB_FAULT_STATUS("manifest.rename");
+  if (!fault_st.ok()) {
+    std::remove(tmp.c_str());
+    return fault_st;
+  }
   if (std::rename(tmp.c_str(), ManifestPath().c_str()) != 0) {
     return Status::IOError("rename manifest: " +
                            std::string(std::strerror(errno)));

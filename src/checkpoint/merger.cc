@@ -8,6 +8,7 @@
 #include "checkpoint/ckpt_file.h"
 #include "obs/obs.h"
 #include "util/clock.h"
+#include "util/fault_injection.h"
 
 namespace calcdb {
 
@@ -67,7 +68,15 @@ Status CheckpointMerger::CollapseOnce(size_t max_partials,
   CALCDB_RETURN_NOT_OK(writer.Finish());
   out.num_entries = writer.entries_written();
 
+  // Crash before ReplaceCollapsed: the merged file exists but the on-disk
+  // manifest still lists the inputs — recovery uses the old chain.
+  CALCDB_FAULT_POINT("merge.replace");
   CALCDB_RETURN_NOT_OK(storage_->ReplaceCollapsed(retired, out));
+  // Crash after ReplaceCollapsed deleted the retired files but before the
+  // manifest records the swap: the on-disk manifest lists files that no
+  // longer exist, recovery rejects them as torn and falls back (possibly
+  // all the way to log-only replay).
+  CALCDB_FAULT_POINT("merge.persist");
   CALCDB_RETURN_NOT_OK(storage_->PersistManifest());
   merges_done_.fetch_add(1, std::memory_order_relaxed);
   CALCDB_COUNTER_ADD("calcdb.ckpt.merges", 1);

@@ -9,6 +9,7 @@
 #include "obs/obs.h"
 #include "storage/memory_tracker.h"
 #include "util/clock.h"
+#include "util/fault_injection.h"
 
 #include "checkpoint/calc.h"
 #include "checkpoint/fork_snapshot.h"
@@ -191,6 +192,27 @@ Status Database::Recover(const CommitLog* replay_log,
   return Status::OK();
 }
 
+Status Database::RecoverFromCommandLog(RecoveryStats* stats) {
+  if (started_) return Status::InvalidArgument("Recover after Start");
+  if (options_.command_log_path.empty()) {
+    return Status::InvalidArgument("no command_log_path configured");
+  }
+  RecoveryStats local;
+  RecoveryStats* s = stats != nullptr ? stats : &local;
+  Status st = ckpt_storage_.LoadManifest();
+  if (!st.IsNotFound()) {
+    CALCDB_RETURN_NOT_OK(st);
+    CALCDB_RETURN_NOT_OK(RecoveryManager::LoadCheckpoints(
+        &ckpt_storage_, store_.get(), s,
+        ResolvedRecoveryThreads(options_)));
+  }
+  std::vector<std::string> generations;
+  CALCDB_RETURN_NOT_OK(CommandLogStreamer::ListLogFiles(
+      options_.command_log_path, &generations));
+  return RecoveryManager::ReplayLogGenerations(generations, registry_,
+                                               store_.get(), s);
+}
+
 Status Database::WriteBaseCheckpoint() {
   if (started_) return Status::InvalidArgument("base ckpt after Start");
   uint64_t id = ckpt_storage_.NextId();
@@ -208,6 +230,9 @@ Status Database::WriteBaseCheckpoint() {
     }
   }
   CALCDB_RETURN_NOT_OK(writer.Finish());
+  // A crash here orphans the finished base-checkpoint file: the manifest
+  // never lists it, so recovery replays the log from scratch instead.
+  CALCDB_FAULT_POINT("base_ckpt.register");
   CheckpointInfo info;
   info.id = id;
   info.type = CheckpointType::kFull;
@@ -340,9 +365,27 @@ Status Database::StartPeriodicCheckpoints(int interval_ms) {
       Status st = checkpointer_->RunCheckpointCycle();
       if (st.ok()) {
         periodic_done_.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        // A failed cycle leaves nothing registered; surface the error
+        // instead of silently retrying forever with no durable progress.
+        SetBackgroundStatus(st);
       }
     }
   });
+  return Status::OK();
+}
+
+void Database::SetBackgroundStatus(const Status& st) {
+  SpinLatchGuard guard(background_status_latch_);
+  if (background_status_.ok()) background_status_ = st;
+}
+
+Status Database::BackgroundStatus() const {
+  {
+    SpinLatchGuard guard(background_status_latch_);
+    if (!background_status_.ok()) return background_status_;
+  }
+  if (streamer_ != nullptr) return streamer_->background_status();
   return Status::OK();
 }
 

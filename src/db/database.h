@@ -20,6 +20,7 @@
 #include "txn/executor.h"
 #include "txn/lock_manager.h"
 #include "txn/procedure.h"
+#include "util/latch.h"
 #include "util/status.h"
 
 namespace calcdb {
@@ -63,6 +64,14 @@ class Database {
   /// replays its committed transactions. Only before Start().
   Status Recover(const CommitLog* replay_log, RecoveryStats* stats);
 
+  /// Full crash recovery: loads the manifest's recovery chain, then
+  /// replays the streamed command-log generations at
+  /// Options::command_log_path (anchor rule in docs/DURABILITY.md).
+  /// Bulk-loaded records (Load) are not in the command log — re-seed them
+  /// before calling this when recovering a database that was seeded by
+  /// Load rather than by logged transactions. Only before Start().
+  Status RecoverFromCommandLog(RecoveryStats* stats);
+
   /// Writes a full checkpoint of the currently loaded state, providing
   /// the base that partial checkpoints merge onto. Only before Start().
   Status WriteBaseCheckpoint();
@@ -87,6 +96,13 @@ class Database {
   uint64_t periodic_checkpoints_done() const {
     return periodic_done_.load(std::memory_order_relaxed);
   }
+
+  /// First error hit by a background service (periodic checkpoint loop,
+  /// command-log streamer flush thread). OK while everything is healthy.
+  /// Background failures must surface somewhere a caller can see them —
+  /// silently dropping a checkpoint-cycle error would turn an injected
+  /// IO failure into a silent loss of durability.
+  Status BackgroundStatus() const;
 
   /// Transactionally-consistent point read through the checkpointer's
   /// read hook (non-transactional convenience for tools/tests).
@@ -123,6 +139,7 @@ class Database {
   explicit Database(const Options& options);
 
   Status MakeCheckpointer();
+  void SetBackgroundStatus(const Status& st);
 
   Options options_;
   std::unique_ptr<ValuePool> pool_;
@@ -144,6 +161,9 @@ class Database {
   std::atomic<bool> periodic_running_{false};
   std::atomic<uint64_t> periodic_done_{0};
   std::thread periodic_thread_;
+
+  mutable SpinLatch background_status_latch_;
+  Status background_status_ CALCDB_GUARDED_BY(background_status_latch_);
 };
 
 }  // namespace calcdb

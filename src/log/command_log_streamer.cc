@@ -1,25 +1,130 @@
 #include "log/command_log_streamer.h"
 
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 #include <thread>
+#include <utility>
+
+#include <dirent.h>
+#include <sys/stat.h>
 
 #include "obs/obs.h"
 #include "util/clock.h"
+#include "util/fault_injection.h"
 
 namespace calcdb {
+
+namespace {
+
+/// Splits `base` into its directory ("." when none) and filename.
+void SplitPath(const std::string& base, std::string* dir,
+               std::string* name) {
+  size_t slash = base.rfind('/');
+  if (slash == std::string::npos) {
+    *dir = ".";
+    *name = base;
+  } else {
+    *dir = slash == 0 ? "/" : base.substr(0, slash);
+    *name = base.substr(slash + 1);
+  }
+}
+
+/// If `entry` is `name` + "." + digits, parses the generation number.
+bool ParseGeneration(const std::string& entry, const std::string& name,
+                     uint64_t* gen) {
+  if (entry.size() <= name.size() + 1) return false;
+  if (entry.compare(0, name.size(), name) != 0) return false;
+  if (entry[name.size()] != '.') return false;
+  const char* digits = entry.c_str() + name.size() + 1;
+  char* end = nullptr;
+  unsigned long long parsed = std::strtoull(digits, &end, 10);
+  if (end == digits || end == nullptr || *end != '\0') return false;
+  *gen = static_cast<uint64_t>(parsed);
+  return true;
+}
+
+}  // namespace
+
+std::string CommandLogStreamer::GenerationPath(const std::string& base,
+                                               uint64_t gen) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), ".%06llu",
+                static_cast<unsigned long long>(gen));
+  return base + buf;
+}
+
+Status CommandLogStreamer::ListLogFiles(const std::string& base,
+                                        std::vector<std::string>* out) {
+  out->clear();
+  std::string dir, name;
+  SplitPath(base, &dir, &name);
+  std::vector<uint64_t> gens;
+  if (DIR* d = ::opendir(dir.c_str())) {
+    while (struct dirent* e = ::readdir(d)) {
+      uint64_t gen = 0;
+      if (ParseGeneration(e->d_name, name, &gen)) gens.push_back(gen);
+    }
+    ::closedir(d);
+  }
+  std::sort(gens.begin(), gens.end());
+  // A bare `base` file predates generation rotation; it holds the oldest
+  // entries, so it replays first.
+  struct stat st{};
+  if (::stat(base.c_str(), &st) == 0) out->push_back(base);
+  for (uint64_t gen : gens) out->push_back(GenerationPath(base, gen));
+  return Status::OK();
+}
+
+std::string CommandLogStreamer::active_path() const {
+  return active_path_;
+}
+
+Status CommandLogStreamer::background_status() const {
+  SpinLatchGuard guard(status_latch_);
+  return background_status_;
+}
+
+void CommandLogStreamer::SetBackgroundStatus(const Status& st) {
+  SpinLatchGuard guard(status_latch_);
+  if (background_status_.ok()) background_status_ = st;
+}
 
 Status CommandLogStreamer::Start(const std::string& path,
                                  int flush_interval_ms) {
   if (running_.exchange(true, std::memory_order_acq_rel)) {
     return Status::InvalidArgument("running");
   }
-  CALCDB_RETURN_NOT_OK(writer_.Open(path, /*max_bytes_per_sec=*/0));
+  // Never reopen (and truncate) an existing generation: earlier
+  // generations may hold the only copy of the pre-crash tail.
+  std::string dir, name;
+  SplitPath(path, &dir, &name);
+  uint64_t max_gen = 0;
+  if (DIR* d = ::opendir(dir.c_str())) {
+    while (struct dirent* e = ::readdir(d)) {
+      uint64_t gen = 0;
+      if (ParseGeneration(e->d_name, name, &gen) && gen > max_gen) {
+        max_gen = gen;
+      }
+    }
+    ::closedir(d);
+  }
+  active_path_ = GenerationPath(path, max_gen + 1);
+  Status open_st = writer_.Open(active_path_, /*max_bytes_per_sec=*/0);
+  if (!open_st.ok()) {
+    running_.store(false, std::memory_order_release);
+    return open_st;
+  }
   persisted_lsn_.store(0, std::memory_order_release);
-  background_status_ = Status::OK();
+  {
+    SpinLatchGuard guard(status_latch_);
+    background_status_ = Status::OK();
+  }
   thread_ = std::thread([this, flush_interval_ms] {
     while (running_.load(std::memory_order_acquire)) {
       Status st = FlushUpTo(log_->Size());
       if (!st.ok()) {
-        background_status_ = st;
+        SetBackgroundStatus(st);
         return;
       }
       SleepMicros(static_cast<int64_t>(flush_interval_ms) * 1000);
@@ -37,8 +142,13 @@ Status CommandLogStreamer::FlushUpTo(uint64_t target_lsn) {
   }
   CALCDB_TRACE_SPAN(flush_span, "log_flush", "log", target_lsn - from);
   CALCDB_OBS_ONLY(int64_t flush_start_us = NowMicros();)
+  // A crash before the append loses the whole batch; a crash between
+  // append and fsync may persist any prefix of it. The loader tolerates
+  // both (torn tail discarded).
+  CALCDB_FAULT_POINT("log.batch_append");
   CALCDB_RETURN_NOT_OK(writer_.Append(batch.data(), batch.size()));
-  CALCDB_RETURN_NOT_OK(writer_.Flush());
+  CALCDB_FAULT_POINT("log.fsync");
+  CALCDB_RETURN_NOT_OK(writer_.Sync());
   CALCDB_HISTOGRAM_RECORD("calcdb.log.fsync_us",
                           NowMicros() - flush_start_us);
   CALCDB_COUNTER_ADD("calcdb.log.flushes", 1);
@@ -52,7 +162,7 @@ Status CommandLogStreamer::Stop() {
     return Status::OK();
   }
   if (thread_.joinable()) thread_.join();
-  CALCDB_RETURN_NOT_OK(background_status_);
+  CALCDB_RETURN_NOT_OK(background_status());
   // Final drain: everything committed before Stop is durable afterwards.
   CALCDB_RETURN_NOT_OK(FlushUpTo(log_->Size()));
   return writer_.Close();

@@ -4,8 +4,10 @@
 #include <atomic>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "log/commit_log.h"
+#include "util/latch.h"
 #include "util/status.h"
 #include "util/throttled_file.h"
 
@@ -16,10 +18,20 @@ namespace calcdb {
 /// CALC's durability story (paper §1, §3) pairs checkpoints with
 /// "command logging" — logging transactional *input* in commit order. The
 /// streamer tails the in-memory CommitLog from a background thread,
-/// appending newly committed entries to a file in batches and fsyncing at
-/// a configurable interval (group durability). After a crash, LoadFrom on
-/// the streamed file yields every entry whose append hit the device; a
-/// torn final entry is discarded by the loader.
+/// appending newly committed entries to a file in batches and fsyncing
+/// after every batch (group durability). After a crash, LoadFrom on the
+/// streamed file yields every entry whose append hit the device; a torn
+/// final entry is discarded by the loader.
+///
+/// Log generations. Each process lifetime streams into its own
+/// generation-numbered file, `<path>.NNNNNN`: Start scans for existing
+/// generations and opens max+1 instead of truncating anything. That
+/// closes the restart-clobber hazard — a restart-after-recovery would
+/// otherwise destroy the only log covering the pre-crash tail before any
+/// new checkpoint exists. Recovery replays the generations in order
+/// (RecoveryManager::ReplayLogGenerations; retirement rules in
+/// docs/DURABILITY.md). A streamer is single-use: one Start/Stop per
+/// instance, one generation per process lifetime.
 ///
 /// Note on durability semantics: like VoltDB's asynchronous command
 /// logging, a window of the most recent commits (up to one flush
@@ -35,28 +47,49 @@ class CommandLogStreamer {
   CommandLogStreamer(const CommandLogStreamer&) = delete;
   CommandLogStreamer& operator=(const CommandLogStreamer&) = delete;
 
-  /// Opens `path` (truncating) and starts the streaming thread.
+  /// Picks the next unused generation of `path`, opens it, and starts the
+  /// streaming thread. Never touches earlier generations.
   Status Start(const std::string& path, int flush_interval_ms = 10);
 
-  /// Drains every entry currently in the log, fsyncs, and stops.
+  /// Drains every entry currently in the log, fsyncs, and stops. Returns
+  /// the first background flush error if the streaming thread died.
   Status Stop();
 
-  /// LSNs [0, persisted_lsn) are durable.
+  /// LSNs [0, persisted_lsn) are durable in this streamer's generation.
   uint64_t persisted_lsn() const {
     return persisted_lsn_.load(std::memory_order_acquire);
   }
 
   bool running() const { return running_.load(std::memory_order_acquire); }
 
+  /// The generation file this streamer writes (empty before Start).
+  std::string active_path() const;
+
+  /// First error the background flush thread hit (OK while healthy).
+  Status background_status() const;
+
+  /// `base` + ".NNNNNN" for generation `gen`.
+  static std::string GenerationPath(const std::string& base, uint64_t gen);
+
+  /// All existing generations of `base`, in replay order: a bare legacy
+  /// `base` file first (generation 0, from before rotation existed), then
+  /// `base.NNNNNN` ascending. Missing directory yields an empty list.
+  static Status ListLogFiles(const std::string& base,
+                             std::vector<std::string>* out);
+
  private:
   Status FlushUpTo(uint64_t target_lsn);
+  void SetBackgroundStatus(const Status& st);
 
   const CommitLog* log_;
   ThrottledFileWriter writer_;
   std::atomic<bool> running_{false};
   std::atomic<uint64_t> persisted_lsn_{0};
   std::thread thread_;
-  Status background_status_;
+  std::string active_path_;
+
+  mutable SpinLatch status_latch_;
+  Status background_status_ CALCDB_GUARDED_BY(status_latch_);
 };
 
 }  // namespace calcdb

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <functional>
+#include <memory>
 #include <string>
 #include <thread>
 #include <utility>
@@ -88,6 +89,51 @@ Status ApplyCheckpointFile(const std::string& path, KVStore* store,
   return st;
 }
 
+/// Minimal engine plumbing for serial command replay: a scratch log (the
+/// replayed transactions' own commits are discarded), no checkpointer,
+/// a single-stripe lock manager.
+class SerialReplayer {
+ public:
+  SerialReplayer(const ProcedureRegistry& registry, KVStore* store) {
+    engine_.store = store;
+    engine_.log = &scratch_log_;
+    engine_.phases = &phases_;
+    engine_.gate = &gate_;
+    engine_.ckpt_storage = nullptr;
+    none_ = std::make_unique<NoCheckpointer>(engine_);
+    executor_ =
+        std::make_unique<Executor>(engine_, &registry, none_.get(), &locks_);
+  }
+
+  Status Replay(const std::vector<LogEntry>& commits, RecoveryStats* stats) {
+    CALCDB_TRACE_SPAN(replay_span, "replay_log", "recovery", commits.size());
+    for (const LogEntry& entry : commits) {
+      CALCDB_RETURN_NOT_OK(executor_->Replay(entry.proc_id, entry.args));
+      ++stats->txns_replayed;
+      CALCDB_COUNTER_ADD("calcdb.recovery.txns_replayed", 1);
+      // Framed commit size: len + crc + type + txn_id + proc_id +
+      // args_len + args (matches CommitLog::EncodeEntry).
+      CALCDB_COUNTER_ADD("calcdb.recovery.log_read_bytes",
+                         4 + 4 + 1 + 8 + 4 + 4 + entry.args.size());
+      // Batch markers let a trace show replay progress over time.
+      if ((stats->txns_replayed & 8191) == 0) {
+        CALCDB_TRACE_INSTANT("replay_batch", "recovery",
+                             stats->txns_replayed);
+      }
+    }
+    return Status::OK();
+  }
+
+ private:
+  CommitLog scratch_log_;
+  PhaseController phases_;
+  AdmissionGate gate_;
+  EngineContext engine_;
+  std::unique_ptr<NoCheckpointer> none_;
+  LockManager locks_{1};
+  std::unique_ptr<Executor> executor_;
+};
+
 }  // namespace
 
 Status RecoveryManager::LoadCheckpoints(CheckpointStorage* storage,
@@ -149,6 +195,7 @@ Status RecoveryManager::LoadCheckpoints(CheckpointStorage* storage,
     CALCDB_COUNTER_ADD("calcdb.recovery.segments_loaded", files.size());
     ++stats->checkpoints_loaded;
     stats->replay_from_lsn = info.vpoc_lsn;
+    stats->last_checkpoint_id = info.id;
   }
   stats->entries_applied += entries_applied.load(std::memory_order_relaxed);
   stats->load_micros = sw.ElapsedMicros();
@@ -159,40 +206,74 @@ Status RecoveryManager::ReplayLog(const CommitLog& log,
                                   const ProcedureRegistry& registry,
                                   KVStore* store, RecoveryStats* stats) {
   Stopwatch sw;
-  // Minimal engine plumbing for serial replay.
-  CommitLog scratch_log;
-  PhaseController phases;
-  AdmissionGate gate;
-  EngineContext engine;
-  engine.store = store;
-  engine.log = &scratch_log;
-  engine.phases = &phases;
-  engine.gate = &gate;
-  engine.ckpt_storage = nullptr;
-  NoCheckpointer none(engine);
-  LockManager locks(1);
-  Executor executor(engine, &registry, &none, &locks);
-
+  SerialReplayer replayer(registry, store);
   // With no checkpoint loaded, the whole log (from LSN 0) is the replay
   // set; otherwise replay strictly after the loaded point of consistency.
   std::vector<LogEntry> commits =
       stats->checkpoints_loaded == 0
           ? log.CommitsFrom(0)
           : log.CommitsAfter(stats->replay_from_lsn);
-  CALCDB_TRACE_SPAN(replay_span, "replay_log", "recovery", commits.size());
-  for (const LogEntry& entry : commits) {
-    CALCDB_RETURN_NOT_OK(executor.Replay(entry.proc_id, entry.args));
-    ++stats->txns_replayed;
-    CALCDB_COUNTER_ADD("calcdb.recovery.txns_replayed", 1);
-    // Framed commit size: len + crc + type + txn_id + proc_id +
-    // args_len + args (matches CommitLog::EncodeEntry).
-    CALCDB_COUNTER_ADD("calcdb.recovery.log_read_bytes",
-                       4 + 4 + 1 + 8 + 4 + 4 + entry.args.size());
-    // Batch markers let a trace show replay progress over time.
-    if ((stats->txns_replayed & 8191) == 0) {
-      CALCDB_TRACE_INSTANT("replay_batch", "recovery",
-                           stats->txns_replayed);
+  CALCDB_RETURN_NOT_OK(replayer.Replay(commits, stats));
+  stats->replay_micros = sw.ElapsedMicros();
+  return Status::OK();
+}
+
+Status RecoveryManager::ReplayLogGenerations(
+    const std::vector<std::string>& files,
+    const ProcedureRegistry& registry, KVStore* store,
+    RecoveryStats* stats) {
+  Stopwatch sw;
+  // Load every generation up front: a generation that fails to load at
+  // all is damage worth surfacing before any replay mutates the store
+  // (LoadFrom already tolerates a torn final entry).
+  std::vector<std::unique_ptr<CommitLog>> logs;
+  logs.reserve(files.size());
+  for (const std::string& file : files) {
+    auto log = std::make_unique<CommitLog>();
+    CALCDB_RETURN_NOT_OK(log->LoadFrom(file));
+    logs.push_back(std::move(log));
+  }
+
+  // Find the anchor generation: the newest one holding the last applied
+  // checkpoint's RESOLVE token at exactly the checkpoint's vpoc LSN.
+  // Newest-first, because a crashed lifetime can reuse a checkpoint id
+  // (the id was never persisted) — the replayed chain's token is the one
+  // from the latest lifetime that produced a surviving checkpoint.
+  size_t anchor = files.size();  // "none"
+  if (stats->checkpoints_loaded != 0) {
+    for (size_t i = logs.size(); i-- > 0;) {
+      uint64_t lsn = 0;
+      if (logs[i]->FindPhaseToken(stats->last_checkpoint_id,
+                                  Phase::kResolve, &lsn) &&
+          lsn == stats->replay_from_lsn) {
+        anchor = i;
+        break;
+      }
     }
+    if (anchor == files.size()) {
+      // No generation persisted the checkpoint's RESOLVE token. Appends
+      // within a generation are sequential, so nothing *after* that token
+      // persisted either: the checkpoint already covers every durable
+      // commit, and there is nothing to replay.
+      stats->replay_micros = sw.ElapsedMicros();
+      return Status::OK();
+    }
+  }
+
+  SerialReplayer replayer(registry, store);
+  for (size_t i = 0; i < logs.size(); ++i) {
+    std::vector<LogEntry> commits;
+    if (stats->checkpoints_loaded == 0) {
+      commits = logs[i]->CommitsFrom(0);  // no checkpoint: replay all
+    } else if (i < anchor) {
+      continue;  // fully covered by the checkpoint chain
+    } else if (i == anchor) {
+      commits = logs[i]->CommitsAfter(stats->replay_from_lsn);
+    } else {
+      commits = logs[i]->CommitsFrom(0);  // later lifetime: replay all
+    }
+    CALCDB_RETURN_NOT_OK(replayer.Replay(commits, stats));
+    ++stats->log_generations_replayed;
   }
   stats->replay_micros = sw.ElapsedMicros();
   return Status::OK();

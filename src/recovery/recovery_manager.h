@@ -2,6 +2,8 @@
 #define CALCDB_RECOVERY_RECOVERY_MANAGER_H_
 
 #include <cstdint>
+#include <string>
+#include <vector>
 
 #include "checkpoint/ckpt_storage.h"
 #include "log/commit_log.h"
@@ -22,6 +24,8 @@ struct RecoveryStats {
   int64_t load_micros = 0;    ///< checkpoint chain load + merge time
   int64_t replay_micros = 0;  ///< deterministic command replay time
   uint64_t replay_from_lsn = 0;
+  uint64_t last_checkpoint_id = 0;  ///< id of the last applied checkpoint
+  uint64_t log_generations_replayed = 0;
 };
 
 /// Recovery (paper §3): load the newest full checkpoint, apply every later
@@ -59,6 +63,24 @@ class RecoveryManager {
   static Status ReplayLog(const CommitLog& log,
                           const ProcedureRegistry& registry, KVStore* store,
                           RecoveryStats* stats);
+
+  /// Replays a sequence of streamed command-log generation files (oldest
+  /// first, as CommandLogStreamer::ListLogFiles returns them) on top of a
+  /// loaded checkpoint chain. LSNs restart at 0 in every generation, so
+  /// `stats->replay_from_lsn` only applies within the *anchor*
+  /// generation: the newest one containing the RESOLVE phase token of the
+  /// last applied checkpoint (id `stats->last_checkpoint_id`) at exactly
+  /// that LSN. The anchor replays commits after the token; every later
+  /// generation replays in full; generations before the anchor are
+  /// retired (fully covered by the checkpoint). If no generation holds
+  /// the anchor token, the checkpoint postdates everything the log
+  /// persisted — since log appends are sequential, nothing after the
+  /// token persisted either, and there is nothing to replay. With no
+  /// checkpoints loaded every generation replays in full. See
+  /// docs/DURABILITY.md, "Composing recovery with streamed logs".
+  static Status ReplayLogGenerations(const std::vector<std::string>& files,
+                                     const ProcedureRegistry& registry,
+                                     KVStore* store, RecoveryStats* stats);
 
   /// LoadCheckpoints + ReplayLog.
   static Status Recover(CheckpointStorage* storage, const CommitLog& log,

@@ -1,0 +1,123 @@
+#ifndef CALCDB_UTIL_FAULT_INJECTION_H_
+#define CALCDB_UTIL_FAULT_INJECTION_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "util/status.h"
+
+/// Crash-point / fault-injection subsystem.
+///
+/// Durability-critical IO sites carry *named probes* (the registry lives
+/// in fault_injection.cc; docs/DURABILITY.md documents what each point
+/// means for recovery). A probe can be armed in one of two modes:
+///
+///   crash  — the process calls _exit(kCrashExitCode) at the n-th hit,
+///            exactly as if it had been SIGKILLed there: no stdio flush,
+///            no destructors, no fsync. The crash-torture harness
+///            (tests/crash_torture_test.cc) uses this to prove recovery
+///            is consistent after a real kill at every point.
+///   error  — the probe returns an injected Status::IOError at the n-th
+///            hit (single-shot; the probe disarms itself), exercising the
+///            error-propagation path of the same site without dying.
+///
+/// Arming, one point per process:
+///
+///   CALCDB_CRASH_POINT=name[:hit_n]   environment  -> crash mode
+///   CALCDB_FAULT_ERROR=name[:hit_n]   environment  -> error mode
+///   fault::ArmCrash / fault::ArmError                programmatic
+///
+/// `hit_n` is 1-based and defaults to 1. Arming an unregistered name
+/// aborts: a typo in a CI matrix must fail loudly, not silently test
+/// nothing.
+///
+/// Build-time kill switch: -DCALCDB_FAULTS=OFF (CALCDB_FAULTS_ENABLED=0)
+/// compiles every probe to nothing — production builds pay zero cost.
+/// When enabled, an un-armed probe costs one function call and one
+/// relaxed atomic load.
+
+#ifndef CALCDB_FAULTS_ENABLED
+#define CALCDB_FAULTS_ENABLED 1
+#endif
+
+namespace calcdb {
+namespace fault {
+
+/// One registered crash point. `name` and `site` are string literals with
+/// static storage duration (the trace ring stores the name pointer).
+struct FaultPointInfo {
+  const char* name;
+  const char* site;
+};
+
+/// The full registry of crash points, independent of CALCDB_FAULTS (the
+/// DURABILITY.md doc-sync test runs in every build). `*count` receives
+/// the number of entries.
+const FaultPointInfo* RegisteredPoints(size_t* count);
+
+/// True if `name` is in the registry.
+bool IsRegistered(const char* name);
+
+/// Exit code of a crash-mode _exit; the torture parent asserts on it.
+inline constexpr int kCrashExitCode = 42;
+
+#if CALCDB_FAULTS_ENABLED
+
+/// Fast path: true iff some point is armed (relaxed load). The first call
+/// parses the CALCDB_CRASH_POINT / CALCDB_FAULT_ERROR environment.
+bool Armed();
+
+/// Slow path, called only when Armed(): if `name` matches the armed point
+/// and this is its n-th hit, either _exit()s (crash mode) or disarms and
+/// returns an injected IOError (error mode). Otherwise returns OK.
+Status Poke(const char* name);
+
+/// Programmatic arming for in-process tests (overrides any environment
+/// arming). `hit_n` is 1-based. Aborts on an unregistered name.
+void ArmCrash(const char* name, uint64_t hit_n = 1);
+void ArmError(const char* name, uint64_t hit_n = 1);
+
+/// Disarms whatever is armed (idempotent).
+void Disarm();
+
+#endif  // CALCDB_FAULTS_ENABLED
+
+}  // namespace fault
+}  // namespace calcdb
+
+#if CALCDB_FAULTS_ENABLED
+
+/// Crash-only probe for void contexts. `name` must be a registered string
+/// literal (tools/lint_concurrency.py's crash-point-registered rule
+/// checks). An injected *error* at this point is reported but has nowhere
+/// to propagate, so prefer CALCDB_FAULT_POINT in Status contexts.
+#define CALCDB_CRASH_POINT(name)                       \
+  do {                                                 \
+    if (::calcdb::fault::Armed()) {                    \
+      ::calcdb::Status fault_st_ =                     \
+          ::calcdb::fault::Poke(name);                 \
+      (void)fault_st_;                                 \
+    }                                                  \
+  } while (0)
+
+/// Expression form: the injected Status (OK when unarmed / not matched).
+/// Crash mode still _exit()s inside. Use where a Status must be routed
+/// by hand (e.g. into a worker thread's per-segment status slot).
+#define CALCDB_FAULT_STATUS(name)                      \
+  (::calcdb::fault::Armed() ? ::calcdb::fault::Poke(name) \
+                            : ::calcdb::Status::OK())
+
+/// Statement form for Status-returning functions: crashes, or returns the
+/// injected IOError to the caller.
+#define CALCDB_FAULT_POINT(name) \
+  CALCDB_RETURN_NOT_OK(CALCDB_FAULT_STATUS(name))
+
+#else  // !CALCDB_FAULTS_ENABLED
+
+#define CALCDB_CRASH_POINT(name) ((void)0)
+#define CALCDB_FAULT_STATUS(name) (::calcdb::Status::OK())
+#define CALCDB_FAULT_POINT(name) ((void)0)
+
+#endif  // CALCDB_FAULTS_ENABLED
+
+#endif  // CALCDB_UTIL_FAULT_INJECTION_H_

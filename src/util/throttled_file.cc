@@ -104,6 +104,14 @@ Status ThrottledFileWriter::Flush() {
   return Status::OK();
 }
 
+Status ThrottledFileWriter::Sync() {
+  CALCDB_RETURN_NOT_OK(Flush());
+  if (::fsync(::fileno(file_)) != 0) {
+    return Status::IOError("fsync " + path_ + ": " + std::strerror(errno));
+  }
+  return Status::OK();
+}
+
 Status ThrottledFileWriter::Close() {
   if (file_ == nullptr) return Status::OK();
   Status st = Flush();

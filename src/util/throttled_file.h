@@ -84,6 +84,10 @@ class ThrottledFileWriter {
   /// Flushes buffered data to the OS.
   Status Flush();
 
+  /// Flushes and fsyncs, keeping the file open: the durability barrier
+  /// the command-log streamer issues after every batch.
+  Status Sync();
+
   /// Flushes, fsyncs and closes. Safe to call twice.
   Status Close();
 

@@ -1,0 +1,257 @@
+// Fault-injection unit tests: registry sanity, the mechanical sync
+// between the crash-point registry and docs/DURABILITY.md's survival
+// table, and — with probes enabled — error-mode injection at every IO
+// site, verifying the injected Status propagates to a caller (no silent
+// success) and that background paths surface it via BackgroundStatus().
+
+#include <fstream>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "checkpoint/merger.h"
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+#include "tests/torture/bank_workload.h"
+#include "util/clock.h"
+#include "util/fault_injection.h"
+
+#ifndef CALCDB_REPO_ROOT
+#define CALCDB_REPO_ROOT "."
+#endif
+
+namespace calcdb {
+namespace {
+
+using testing_util::TempDir;
+using torture::kTransferProcId;
+using torture::SetupBank;
+using torture::TransferProcedure;
+using torture::TransferStream;
+
+std::set<std::string> RegistryNames() {
+  size_t count = 0;
+  const fault::FaultPointInfo* points = fault::RegisteredPoints(&count);
+  std::set<std::string> names;
+  for (size_t i = 0; i < count; ++i) names.insert(points[i].name);
+  return names;
+}
+
+TEST(FaultRegistry, NamesAreUniqueAndDescribed) {
+  size_t count = 0;
+  const fault::FaultPointInfo* points = fault::RegisteredPoints(&count);
+  ASSERT_GT(count, 0u);
+  std::set<std::string> seen;
+  for (size_t i = 0; i < count; ++i) {
+    EXPECT_TRUE(seen.insert(points[i].name).second)
+        << "duplicate crash point " << points[i].name;
+    EXPECT_NE(points[i].site[0], '\0')
+        << points[i].name << " has an empty site description";
+  }
+  EXPECT_TRUE(fault::IsRegistered("ckpt_file.header"));
+  EXPECT_FALSE(fault::IsRegistered("no.such.point"));
+}
+
+/// docs/DURABILITY.md's survival table and the registry must list
+/// exactly the same crash points, in both directions: a probe without a
+/// documented contract is as bad as a documented contract without a
+/// probe. Table rows look like `| `point.name` | ... |`.
+TEST(DurabilityDoc, SurvivalTableMatchesRegistry) {
+  std::ifstream doc(std::string(CALCDB_REPO_ROOT) + "/docs/DURABILITY.md");
+  ASSERT_TRUE(doc.is_open()) << "docs/DURABILITY.md missing";
+  std::set<std::string> documented;
+  std::string line;
+  while (std::getline(doc, line)) {
+    if (line.rfind("| `", 0) != 0) continue;
+    size_t open = line.find('`');
+    size_t close = line.find('`', open + 1);
+    if (close == std::string::npos) continue;
+    documented.insert(line.substr(open + 1, close - open - 1));
+  }
+  std::set<std::string> registered = RegistryNames();
+  for (const std::string& name : registered) {
+    EXPECT_TRUE(documented.count(name))
+        << "crash point " << name
+        << " is not documented in docs/DURABILITY.md's survival table";
+  }
+  for (const std::string& name : documented) {
+    EXPECT_TRUE(registered.count(name))
+        << "docs/DURABILITY.md documents " << name
+        << ", which is not a registered crash point";
+  }
+}
+
+#if CALCDB_FAULTS_ENABLED
+
+/// Error-mode injections arm process-global state; always disarm so a
+/// failing assertion can't leak a pending fault into later tests.
+class FaultInjectionTest : public ::testing::Test {
+ protected:
+  void TearDown() override { fault::Disarm(); }
+
+  /// A started CALC database with a seeded bank and a few executed
+  /// transfers (so checkpoints have content).
+  void OpenBankDb(const TempDir& dir, std::unique_ptr<Database>* db,
+                  CheckpointAlgorithm algo, int capture_threads,
+                  bool with_streamer = false, bool base_checkpoint = false) {
+    Options options;
+    options.max_records = 128;
+    options.algorithm = algo;
+    options.checkpoint_dir = dir.path() + "/ckpt";
+    options.disk_bytes_per_sec = 0;
+    options.capture_threads = capture_threads;
+    if (with_streamer) {
+      options.command_log_path = dir.path() + "/commandlog";
+      options.command_log_flush_ms = 1;
+    }
+    ASSERT_TRUE(Database::Open(options, db).ok());
+    (*db)->registry()->Register(std::make_unique<TransferProcedure>());
+    ASSERT_TRUE(SetupBank(db->get(), 16).ok());
+    if (base_checkpoint) {
+      ASSERT_TRUE((*db)->WriteBaseCheckpoint().ok());
+    }
+    ASSERT_TRUE((*db)->Start().ok());
+    TransferStream stream(3, 16);
+    for (int i = 0; i < 20; ++i) {
+      ASSERT_TRUE((*db)
+                      ->executor()
+                      ->Execute(kTransferProcId, stream.NextArgs(), 0)
+                      .ok());
+    }
+  }
+};
+
+/// Every foreground checkpoint IO site: the injected IOError must reach
+/// the Checkpoint() caller — a checkpoint that silently "succeeds" after
+/// a failed write would claim durability it does not have.
+TEST_F(FaultInjectionTest, CheckpointIoErrorsPropagate) {
+  const char* points[] = {
+      "ckpt_file.header", "ckpt_file.body",  "ckpt_file.footer",
+      "ckpt_file.fsync",  "ckpt.register",   "manifest.write",
+      "manifest.rename",
+  };
+  for (const char* point : points) {
+    SCOPED_TRACE(point);
+    TempDir dir;
+    std::unique_ptr<Database> db;
+    OpenBankDb(dir, &db, CheckpointAlgorithm::kCalc, /*capture_threads=*/1);
+    fault::ArmError(point);
+    Status st = db->Checkpoint();
+    ASSERT_FALSE(st.ok());
+    EXPECT_TRUE(st.IsIOError()) << st.ToString();
+    EXPECT_NE(st.ToString().find("injected fault"), std::string::npos)
+        << st.ToString();
+    // The foreground error is not a background failure...
+    EXPECT_TRUE(db->BackgroundStatus().ok());
+    // ...and injection is single-shot: the engine recovers, the next
+    // cycle succeeds without disarming.
+    EXPECT_TRUE(db->Checkpoint().ok()) << point;
+  }
+}
+
+TEST_F(FaultInjectionTest, SegmentFinishErrorPropagates) {
+  TempDir dir;
+  std::unique_ptr<Database> db;
+  OpenBankDb(dir, &db, CheckpointAlgorithm::kCalc, /*capture_threads=*/2);
+  fault::ArmError("ckpt.segment.finish");
+  Status st = db->Checkpoint();
+  ASSERT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsIOError()) << st.ToString();
+  EXPECT_TRUE(db->Checkpoint().ok());
+}
+
+TEST_F(FaultInjectionTest, BaseCheckpointRegisterErrorPropagates) {
+  TempDir dir;
+  Options options;
+  options.max_records = 128;
+  options.algorithm = CheckpointAlgorithm::kCalc;
+  options.checkpoint_dir = dir.path() + "/ckpt";
+  options.disk_bytes_per_sec = 0;
+  std::unique_ptr<Database> db;
+  ASSERT_TRUE(Database::Open(options, &db).ok());
+  ASSERT_TRUE(SetupBank(db.get(), 16).ok());
+  fault::ArmError("base_ckpt.register");
+  Status st = db->WriteBaseCheckpoint();
+  ASSERT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsIOError()) << st.ToString();
+  EXPECT_TRUE(db->WriteBaseCheckpoint().ok());  // single-shot
+}
+
+TEST_F(FaultInjectionTest, MergeErrorsPropagate) {
+  for (const char* point : {"merge.replace", "merge.persist"}) {
+    SCOPED_TRACE(point);
+    TempDir dir;
+    std::unique_ptr<Database> db;
+    OpenBankDb(dir, &db, CheckpointAlgorithm::kPCalc, /*capture_threads=*/1,
+               /*with_streamer=*/false, /*base_checkpoint=*/true);
+    for (int i = 0; i < 3; ++i) ASSERT_TRUE(db->Checkpoint().ok());
+    CheckpointMerger merger(db->checkpoint_storage());
+    fault::ArmError(point);
+    bool did_merge = false;
+    Status st = merger.CollapseOnce(3, &did_merge);
+    ASSERT_FALSE(st.ok());
+    EXPECT_TRUE(st.IsIOError()) << st.ToString();
+    // A retry must succeed either way, but the two points differ:
+    // merge.replace fails *before* the chain swap, so the inputs are all
+    // still there and the retry performs the merge; merge.persist fails
+    // *after* the in-memory swap (only the manifest write was lost), so
+    // the retry finds nothing left to collapse.
+    did_merge = false;
+    EXPECT_TRUE(merger.CollapseOnce(3, &did_merge).ok());
+    EXPECT_EQ(did_merge, std::string(point) == "merge.replace");
+  }
+}
+
+/// Streamer flush errors happen on a background thread; they must
+/// surface through Database::BackgroundStatus() and fail the eventual
+/// Shutdown() instead of vanishing.
+TEST_F(FaultInjectionTest, StreamerErrorSurfacesInBackgroundStatus) {
+  for (const char* point : {"log.batch_append", "log.fsync"}) {
+    SCOPED_TRACE(point);
+    TempDir dir;
+    std::unique_ptr<Database> db;
+    OpenBankDb(dir, &db, CheckpointAlgorithm::kCalc, /*capture_threads=*/1,
+               /*with_streamer=*/true);
+    fault::ArmError(point);
+    TransferStream stream(4, 16);
+    Status bg;
+    for (int tries = 0; tries < 2000; ++tries) {
+      ASSERT_TRUE(db->executor()
+                      ->Execute(kTransferProcId, stream.NextArgs(), 0)
+                      .ok());
+      bg = db->BackgroundStatus();
+      if (!bg.ok()) break;
+      SleepMicros(1000);
+    }
+    ASSERT_FALSE(bg.ok()) << "flusher never hit the armed fault";
+    EXPECT_TRUE(bg.IsIOError()) << bg.ToString();
+    EXPECT_NE(bg.ToString().find("injected fault"), std::string::npos);
+    EXPECT_FALSE(db->Shutdown().ok());
+  }
+}
+
+/// Periodic-checkpoint-loop errors likewise surface via
+/// BackgroundStatus() rather than being dropped by the loop thread.
+TEST_F(FaultInjectionTest, PeriodicCheckpointErrorSurfaces) {
+  TempDir dir;
+  std::unique_ptr<Database> db;
+  OpenBankDb(dir, &db, CheckpointAlgorithm::kCalc, /*capture_threads=*/1);
+  ASSERT_TRUE(db->StartPeriodicCheckpoints(1).ok());
+  fault::ArmError("ckpt.register");
+  Status bg;
+  for (int tries = 0; tries < 2000; ++tries) {
+    bg = db->BackgroundStatus();
+    if (!bg.ok()) break;
+    SleepMicros(1000);
+  }
+  db->StopPeriodicCheckpoints();
+  ASSERT_FALSE(bg.ok()) << "periodic loop never hit the armed fault";
+  EXPECT_TRUE(bg.IsIOError()) << bg.ToString();
+  EXPECT_NE(bg.ToString().find("injected fault"), std::string::npos);
+}
+
+#endif  // CALCDB_FAULTS_ENABLED
+
+}  // namespace
+}  // namespace calcdb

@@ -4,8 +4,11 @@
 // crash and a full recovery, verified byte-for-byte.
 
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "gtest/gtest.h"
+#include "log/command_log_streamer.h"
 #include "tests/test_util.h"
 #include "workload/microbench.h"
 
@@ -79,12 +82,18 @@ TEST(IntegrationSoakTest, EverythingAtOnceThenRecover) {
       std::make_unique<RmwProcedure>(workload_config.value_size));
   recovered->registry()->Register(
       std::make_unique<BatchWriteProcedure>(workload_config.value_size));
+  // The streamer writes generation files, never the bare base path.
+  std::vector<std::string> generations;
+  ASSERT_TRUE(CommandLogStreamer::ListLogFiles(options.command_log_path,
+                                               &generations)
+                  .ok());
+  ASSERT_EQ(generations.size(), 1u);
   CommitLog replay_log;
-  ASSERT_TRUE(replay_log.LoadFrom(options.command_log_path).ok());
+  ASSERT_TRUE(replay_log.LoadFrom(generations[0]).ok());
   // The streamed log holds every commit token plus the phase tokens.
   EXPECT_GE(replay_log.Size(), committed);
   RecoveryStats stats;
-  ASSERT_TRUE(recovered->Recover(&replay_log, &stats).ok());
+  ASSERT_TRUE(recovered->RecoverFromCommandLog(&stats).ok());
   EXPECT_GE(stats.checkpoints_loaded, 1u);
   ASSERT_TRUE(recovered->Start().ok());
   EXPECT_EQ(DbToMap(recovered.get()), pre_crash);
@@ -129,10 +138,8 @@ TEST(IntegrationSoakTest, CalcFullPeriodicWithStreamer) {
       std::make_unique<RmwProcedure>(workload_config.value_size));
   recovered->registry()->Register(
       std::make_unique<BatchWriteProcedure>(workload_config.value_size));
-  CommitLog replay_log;
-  ASSERT_TRUE(replay_log.LoadFrom(options.command_log_path).ok());
   RecoveryStats stats;
-  ASSERT_TRUE(recovered->Recover(&replay_log, &stats).ok());
+  ASSERT_TRUE(recovered->RecoverFromCommandLog(&stats).ok());
   ASSERT_TRUE(recovered->Start().ok());
   EXPECT_EQ(DbToMap(recovered.get()), pre_crash);
 }

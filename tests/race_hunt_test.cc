@@ -367,12 +367,16 @@ TEST(RaceHuntTest, LogRotationDuringAppend) {
   });
 
   // Rotate the streamer across files while the log is being appended to.
+  // Each Start opens a fresh generation of its base path; record the
+  // actual generation file (active_path) so the load below reads what
+  // was written.
   std::vector<std::string> files;
   CommandLogStreamer streamer(&log);
   const int kRotations = 5;
   for (int r = 0; r < kRotations; ++r) {
-    files.push_back(dir.path() + "/commandlog." + std::to_string(r));
-    ASSERT_TRUE(streamer.Start(files.back(), /*flush_interval_ms=*/1).ok());
+    const std::string base = dir.path() + "/commandlog." + std::to_string(r);
+    ASSERT_TRUE(streamer.Start(base, /*flush_interval_ms=*/1).ok());
+    files.push_back(streamer.active_path());
     SleepMicros(testing_util::ScaledMicros(20000));
     ASSERT_TRUE(streamer.Stop().ok());
   }

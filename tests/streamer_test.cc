@@ -2,7 +2,9 @@
 // tolerance, and end-to-end streamed recovery through the Database facade.
 
 #include <memory>
+#include <string>
 #include <thread>
+#include <vector>
 
 #include "gtest/gtest.h"
 #include "log/command_log_streamer.h"
@@ -36,8 +38,10 @@ TEST(CommandLogStreamerTest, StreamsAndDrainsOnStop) {
   ASSERT_TRUE(streamer.Stop().ok());
   EXPECT_EQ(streamer.persisted_lsn(), 501u);  // drained on stop
 
+  // The streamer writes a generation file, never the bare base path.
+  EXPECT_EQ(streamer.active_path(), path + ".000001");
   CommitLog loaded;
-  ASSERT_TRUE(loaded.LoadFrom(path).ok());
+  ASSERT_TRUE(loaded.LoadFrom(streamer.active_path()).ok());
   ASSERT_EQ(loaded.Size(), 501u);
   EXPECT_EQ(loaded.Entry(0).args, "args0");
   EXPECT_EQ(loaded.Entry(500).txn_id, 999u);
@@ -54,7 +58,7 @@ TEST(CommandLogStreamerTest, StreamsPhaseTokensToo) {
   log.AppendCommit(2, 2, "b");
   ASSERT_TRUE(streamer.Stop().ok());
   CommitLog loaded;
-  ASSERT_TRUE(loaded.LoadFrom(path).ok());
+  ASSERT_TRUE(loaded.LoadFrom(streamer.active_path()).ok());
   ASSERT_EQ(loaded.Size(), 3u);
   EXPECT_EQ(loaded.Entry(1).type, LogEntry::Type::kPhaseTransition);
   EXPECT_EQ(loaded.VpocCount(), 0u);  // count rebuilt only via appends
@@ -143,17 +147,21 @@ TEST(StreamedRecoveryTest, DatabaseRecoversFromStreamedLog) {
       std::make_unique<RmwProcedure>(config.value_size));
   recovered->registry()->Register(
       std::make_unique<BatchWriteProcedure>(config.value_size));
-  CommitLog replay_log;
-  ASSERT_TRUE(replay_log.LoadFrom(options.command_log_path).ok());
   RecoveryStats stats;
-  ASSERT_TRUE(recovered->Recover(&replay_log, &stats).ok());
-  // Note: Start() would open the streamer on the same path and truncate
-  // it; a production deployment rotates log files. Read state before.
+  ASSERT_TRUE(recovered->RecoverFromCommandLog(&stats).ok());
   EXPECT_GT(stats.txns_replayed, 0u);
-  // Start() re-opens the streamer on the same path (truncating it — a
-  // production deployment would rotate); the replayed state is already in
-  // memory.
+  EXPECT_EQ(stats.log_generations_replayed, 1u);
+  // Start() opens the *next* generation instead of truncating the one
+  // just replayed (the restart-clobber fix): the pre-crash tail stays on
+  // disk until a post-restart checkpoint covers it.
   EXPECT_TRUE(recovered->Start().ok());
+  std::vector<std::string> generations;
+  ASSERT_TRUE(CommandLogStreamer::ListLogFiles(options.command_log_path,
+                                               &generations)
+                  .ok());
+  ASSERT_EQ(generations.size(), 2u);
+  EXPECT_EQ(recovered->command_log_streamer()->active_path(),
+            generations[1]);
   EXPECT_EQ(DbToMap(recovered.get()), pre_crash);
 }
 

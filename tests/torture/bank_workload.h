@@ -1,0 +1,135 @@
+#ifndef CALCDB_TESTS_TORTURE_BANK_WORKLOAD_H_
+#define CALCDB_TESTS_TORTURE_BANK_WORKLOAD_H_
+
+// Bank-transfer workload shared by the crash-torture worker binary and
+// the parent test (tests/crash_torture_test.cc). The workload is built
+// around a conservation invariant: transfers move balance between
+// accounts but never create or destroy it, so after ANY crash +
+// recovery the sum of all balances must equal accounts * kInitialBalance
+// — regardless of where the crash landed.
+//
+// Determinism matters more than realism here: the transfer stream is a
+// pure function of the seed, and the procedure itself is deterministic
+// given the store state, so the parent can regenerate the exact stream
+// the (crashed) worker executed and replay it against an oracle map.
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+#include "db/database.h"
+#include "txn/procedure.h"
+#include "txn/txn_context.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace calcdb {
+namespace torture {
+
+/// Distinct from the microbenchmark ids (kRmwProcId=1, kBatchWriteProcId=2).
+inline constexpr uint32_t kTransferProcId = 42;
+
+inline constexpr int64_t kInitialBalance = 1000;
+
+/// Args are decimal text "from to amount" — human-readable in log dumps,
+/// trivially parseable in the verifier.
+inline std::string EncodeTransfer(uint64_t from, uint64_t to,
+                                  int64_t amount) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%llu %llu %lld",
+                static_cast<unsigned long long>(from),
+                static_cast<unsigned long long>(to),
+                static_cast<long long>(amount));
+  return std::string(buf);
+}
+
+inline bool DecodeTransfer(std::string_view args, uint64_t* from,
+                           uint64_t* to, int64_t* amount) {
+  unsigned long long f = 0, t = 0;
+  long long a = 0;
+  std::string copy(args);
+  if (std::sscanf(copy.c_str(), "%llu %llu %lld", &f, &t, &a) != 3) {
+    return false;
+  }
+  *from = f;
+  *to = t;
+  *amount = a;
+  return true;
+}
+
+/// Moves min(amount, balance(from)) from `from` to `to`. The clamp keeps
+/// the procedure total (it can never fail on insufficient funds) and
+/// deterministic given store state, while still making the outcome
+/// state-dependent — so a replay divergence shows up as a wrong balance,
+/// not just a wrong count.
+class TransferProcedure : public StoredProcedure {
+ public:
+  uint32_t id() const override { return kTransferProcId; }
+  const char* name() const override { return "bank_transfer"; }
+
+  void GetKeys(std::string_view args, KeySets* sets) const override {
+    uint64_t from = 0, to = 0;
+    int64_t amount = 0;
+    if (!DecodeTransfer(args, &from, &to, &amount)) return;
+    // Write locks cover the reads too (same idiom as RmwProcedure).
+    sets->write_keys.push_back(from);
+    sets->write_keys.push_back(to);
+  }
+
+  Status Run(TxnContext& ctx, std::string_view args) const override {
+    uint64_t from = 0, to = 0;
+    int64_t amount = 0;
+    if (!DecodeTransfer(args, &from, &to, &amount)) {
+      return Status::InvalidArgument("bad transfer args");
+    }
+    std::string from_val, to_val;
+    CALCDB_RETURN_NOT_OK(ctx.Read(from, &from_val));
+    CALCDB_RETURN_NOT_OK(ctx.Read(to, &to_val));
+    int64_t from_bal = std::strtoll(from_val.c_str(), nullptr, 10);
+    int64_t to_bal = std::strtoll(to_val.c_str(), nullptr, 10);
+    int64_t moved = amount < from_bal ? amount : from_bal;
+    if (moved < 0) moved = 0;
+    CALCDB_RETURN_NOT_OK(
+        ctx.Write(from, std::to_string(from_bal - moved)));
+    CALCDB_RETURN_NOT_OK(ctx.Write(to, std::to_string(to_bal + moved)));
+    return Status::OK();
+  }
+};
+
+/// Bulk-loads accounts [0, accounts) with kInitialBalance each. Load()
+/// is not captured by the command log, so every worker lifetime (and the
+/// verifier's oracle) re-seeds identically before recovery/replay.
+inline Status SetupBank(Database* db, uint64_t accounts) {
+  for (uint64_t k = 0; k < accounts; ++k) {
+    CALCDB_RETURN_NOT_OK(db->Load(k, std::to_string(kInitialBalance)));
+  }
+  return Status::OK();
+}
+
+/// Deterministic transfer stream: transfer i is a pure function of
+/// (seed, i). Every worker lifetime replays the stream from the start,
+/// so the i-th transfer *executed* in any lifetime is the i-th element —
+/// which lets the verifier reconstruct exactly what a crashed worker ran.
+class TransferStream {
+ public:
+  TransferStream(uint64_t seed, uint64_t accounts)
+      : rng_(seed), accounts_(accounts) {}
+
+  std::string NextArgs() {
+    uint64_t from = rng_.Uniform(accounts_);
+    uint64_t to = rng_.Uniform(accounts_ - 1);
+    if (to >= from) ++to;  // to != from, still uniform
+    int64_t amount = static_cast<int64_t>(rng_.Uniform(200)) + 1;
+    return EncodeTransfer(from, to, amount);
+  }
+
+ private:
+  Rng rng_;
+  uint64_t accounts_;
+};
+
+}  // namespace torture
+}  // namespace calcdb
+
+#endif  // CALCDB_TESTS_TORTURE_BANK_WORKLOAD_H_

@@ -38,6 +38,13 @@ ISSUE/CONTRIBUTING "Correctness tooling"):
                           memory_order_relaxed. Acquire/release is allowed
                           for loads/stores/exchange (the trace-ring seqlock
                           and reporter-thread handshakes need it).
+  crash-point-registered  Every name passed to CALCDB_CRASH_POINT /
+                          CALCDB_FAULT_STATUS / CALCDB_FAULT_POINT must
+                          appear in the registry in
+                          src/util/fault_injection.cc: an unregistered
+                          probe would abort at arm time and can't be
+                          covered by the torture matrix or documented in
+                          docs/DURABILITY.md's survival table.
 
 A finding can be waived per line with a trailing comment:
     // lint:allow(<rule-id>): <justification>
@@ -310,6 +317,60 @@ def check_naked_lock(path, code, raw_lines):
     return findings
 
 
+FAULT_MACRO_RE = re.compile(
+    r'CALCDB_(?:CRASH_POINT|FAULT_STATUS|FAULT_POINT)\s*\(\s*"')
+
+
+def load_fault_registry(root):
+    """Returns the set of registered crash-point names parsed out of
+    util/fault_injection.cc under `root`, or None if unavailable."""
+    path = os.path.join(root, "util", "fault_injection.cc")
+    try:
+        with open(path, encoding="utf-8") as f:
+            text = f.read()
+    except OSError:
+        return None
+    m = re.search(r"kRegistry\[\]\s*=\s*\{(.*?)\n\};", text, re.S)
+    if not m:
+        return None
+    return set(re.findall(r'\{\s*"([^"]+)"', m.group(1)))
+
+
+def check_crash_point_registered(path, code, raw_lines, root):
+    norm = path.replace(os.sep, "/")
+    if norm.endswith(("util/fault_injection.h", "util/fault_injection.cc")):
+        return []  # the macro definitions / the registry itself
+    if not FAULT_MACRO_RE.search(code):
+        return []
+    registry = load_fault_registry(root)
+    # `code` blanks string contents but preserves every offset, so the
+    # probe name is read from the raw text at the matched quote position
+    # (matching raw lines directly would also fire on prose in comments).
+    raw = "\n".join(raw_lines)
+    findings = []
+    for m in FAULT_MACRO_RE.finditer(code):
+        lineno = line_of(code, m.start())
+        if waived(raw_lines, lineno, "crash-point-registered"):
+            continue
+        if registry is None:
+            findings.append(Finding(
+                path, lineno, "crash-point-registered",
+                "fault probe used but util/fault_injection.cc's registry "
+                "was not found under the lint root"))
+            continue
+        quote = m.end() - 1
+        close = raw.find('"', quote + 1)
+        name = raw[quote + 1:close] if close != -1 else ""
+        if name not in registry:
+            findings.append(Finding(
+                path, lineno, "crash-point-registered",
+                f'crash point "{name}" is not in the kRegistry table of '
+                "src/util/fault_injection.cc: register it (and document "
+                "it in docs/DURABILITY.md, and cover it in the torture "
+                "matrix) or fix the typo"))
+    return findings
+
+
 def check_phase_token(path, code, raw_lines):
     norm = path.replace(os.sep, "/")
     if norm.endswith("log/commit_log.cc"):
@@ -402,6 +463,7 @@ def lint_file(path, root):
     findings += check_header_guard(path, code, raw_lines, root)
     findings += check_include_hygiene(path, code, raw_lines)
     findings += check_obs_relaxed(path, code, raw_lines)
+    findings += check_crash_point_registered(path, code, raw_lines, root)
     return findings
 
 
@@ -476,7 +538,27 @@ SELF_TEST_CASES = [
      "  (void)was;\n}\n"),
     ("obs-relaxed-order", False, "txn/e.cc",
      "void F() { c_.fetch_add(1, std::memory_order_seq_cst); }\n"),
+    ("crash-point-registered", True, "checkpoint/f.cc",
+     'void F() { CALCDB_CRASH_POINT("never.registered"); }\n'),
+    ("crash-point-registered", True, "checkpoint/f.cc",
+     'Status F() {\n'
+     '  CALCDB_FAULT_POINT("also.unknown");\n'
+     '  return Status::OK();\n}\n'),
+    ("crash-point-registered", False, "checkpoint/f.cc",
+     'void F() { CALCDB_CRASH_POINT("test.registered"); }\n'),
+    ("crash-point-registered", False, "checkpoint/f.cc",
+     'Status F() { return CALCDB_FAULT_STATUS("test.registered"); }\n'),
+    ("crash-point-registered", False, "checkpoint/f.cc",
+     '// prose: CALCDB_CRASH_POINT("never.registered") in a comment\n'),
 ]
+
+# A minimal registry seeded next to every self-test snippet so the
+# crash-point-registered rule has something to resolve against.
+SELF_TEST_REGISTRY = (
+    "constexpr FaultPointInfo kRegistry[] = {\n"
+    '    {"test.registered", "self-test stub"},\n'
+    "};\n"
+)
 
 
 def self_test():
@@ -490,6 +572,10 @@ def self_test():
             os.makedirs(os.path.dirname(path), exist_ok=True)
             with open(path, "w", encoding="utf-8") as f:
                 f.write(snippet)
+            registry_path = os.path.join(tmp, "util", "fault_injection.cc")
+            os.makedirs(os.path.dirname(registry_path), exist_ok=True)
+            with open(registry_path, "w", encoding="utf-8") as f:
+                f.write(SELF_TEST_REGISTRY)
             fired = {f.rule for f in lint_file(path, tmp)}
         if should_fire and rule not in fired:
             failures.append(
