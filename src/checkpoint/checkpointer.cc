@@ -2,9 +2,41 @@
 
 #include <string>
 
+#include "log/command_log_streamer.h"
 #include "obs/obs.h"
+#include "util/clock.h"
 
 namespace calcdb {
+
+Status Checkpointer::WaitLogDurable(uint64_t vpoc_lsn) {
+  const CommandLogStreamer* streamer = engine_.streamer;
+  if (streamer == nullptr) return Status::OK();
+  // The RESOLVE token occupies LSN `vpoc_lsn` and LSNs [0, persisted_lsn)
+  // are durable, so the token is on stable storage once persisted_lsn
+  // passes it. The wait is bounded by one flush interval; it runs with
+  // the engine at REST, so transactions proceed underneath it.
+  CALCDB_OBS_ONLY(Stopwatch sw;)
+  while (streamer->persisted_lsn() <= vpoc_lsn) {
+    CALCDB_RETURN_NOT_OK(streamer->background_status());
+    if (!streamer->running()) {
+      // Stop() clears `running` before its final drain; give that drain a
+      // moment to land the token before declaring it unreachable.
+      for (int i = 0; i < 200 && streamer->persisted_lsn() <= vpoc_lsn;
+           ++i) {
+        SleepMicros(1000);
+      }
+      if (streamer->persisted_lsn() > vpoc_lsn) break;
+      CALCDB_RETURN_NOT_OK(streamer->background_status());
+      return Status::IOError(
+          "command-log streamer stopped before the checkpoint's RESOLVE "
+          "token became durable");
+    }
+    SleepMicros(200);
+  }
+  CALCDB_HISTOGRAM_RECORD("calcdb.ckpt.log_barrier_us",
+                          sw.ElapsedMicros());
+  return Status::OK();
+}
 
 void Checkpointer::SetLastCycle(const CheckpointCycleStats& stats) {
   {

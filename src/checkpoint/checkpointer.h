@@ -15,6 +15,8 @@
 
 namespace calcdb {
 
+class CommandLogStreamer;
+
 /// Everything a checkpointing algorithm needs from the engine.
 struct EngineContext {
   KVStore* store = nullptr;
@@ -22,6 +24,10 @@ struct EngineContext {
   PhaseController* phases = nullptr;
   AdmissionGate* gate = nullptr;
   CheckpointStorage* ckpt_storage = nullptr;
+  /// The command-log streamer, when one is attached (null otherwise).
+  /// Checkpoint cycles gate manifest registration on its durability
+  /// horizon (WaitLogDurable).
+  const CommandLogStreamer* streamer = nullptr;
 };
 
 /// Statistics for one completed checkpoint cycle.
@@ -98,6 +104,18 @@ class Checkpointer {
   }
 
  protected:
+  /// Durability barrier for the checkpoint's point-of-consistency token.
+  /// Blocks until the attached command-log streamer (if any) has fsynced
+  /// the log through `vpoc_lsn` inclusive; a no-op when no streamer is
+  /// attached. Every cycle MUST pass this barrier before Register +
+  /// PersistManifest: a checkpoint registered while its RESOLVE token is
+  /// still unflushed breaks recovery's anchor rule — a later lifetime's
+  /// fsynced commits would be skipped as "nothing after the token
+  /// persisted" (docs/DURABILITY.md). Returns the streamer's error if it
+  /// can no longer make progress, failing the cycle before anything is
+  /// registered.
+  Status WaitLogDurable(uint64_t vpoc_lsn);
+
   /// Publishes cycle stats and mirrors them into the metrics registry
   /// (per-algorithm counters + duration histograms). Cold path: runs
   /// once per checkpoint cycle.

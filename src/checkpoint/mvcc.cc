@@ -195,6 +195,10 @@ Status MvccCheckpointer::RunCheckpointCycle() {
   info.vpoc_lsn = poc_lsn;
   info.num_entries = writer.entries_written();
   info.path = path;
+  // Durability barrier: register only once the point-of-consistency token
+  // is fsynced by the command-log streamer (see
+  // Checkpointer::WaitLogDurable; no-op without a streamer).
+  CALCDB_RETURN_NOT_OK(WaitLogDurable(info.vpoc_lsn));
   engine_.ckpt_storage->Register(info);
   CALCDB_RETURN_NOT_OK(engine_.ckpt_storage->PersistManifest());
 

@@ -230,6 +230,22 @@ Status Database::WriteBaseCheckpoint() {
     }
   }
   CALCDB_RETURN_NOT_OK(writer.Finish());
+  if (!options_.command_log_path.empty()) {
+    // Durability barrier (the pre-Start analogue of
+    // Checkpointer::WaitLogDurable): the manifest may name this
+    // checkpoint only once its PoC token is on stable storage, else a
+    // crash leaves a registered checkpoint whose token exists in no log
+    // generation and recovery's anchor rule skips later lifetimes'
+    // durable commits. The streamer is not running yet, so drain the
+    // in-memory log (just the token, typically) into its own generation
+    // with a short-lived streamer; Start()'s streamer re-flushes the
+    // prefix into the next generation, which the anchor rule's
+    // newest-first match handles.
+    CommandLogStreamer flush(&log_);
+    CALCDB_RETURN_NOT_OK(
+        flush.Start(options_.command_log_path, /*flush_interval_ms=*/1));
+    CALCDB_RETURN_NOT_OK(flush.Stop());
+  }
   // A crash here orphans the finished base-checkpoint file: the manifest
   // never lists it, so recovery replays the log from scratch instead.
   CALCDB_FAULT_POINT("base_ckpt.register");
@@ -250,6 +266,7 @@ Status Database::MakeCheckpointer() {
   engine.phases = &phases_;
   engine.gate = &gate_;
   engine.ckpt_storage = &ckpt_storage_;
+  engine.streamer = streamer_.get();
 
   switch (options_.algorithm) {
     case CheckpointAlgorithm::kNone:
@@ -312,6 +329,13 @@ Status Database::MakeCheckpointer() {
 
 Status Database::Start() {
   if (started_) return Status::InvalidArgument("already started");
+  // The streamer starts first: the checkpointer's EngineContext carries
+  // it so checkpoint cycles can gate registration on log durability.
+  if (!options_.command_log_path.empty()) {
+    streamer_ = std::make_unique<CommandLogStreamer>(&log_);
+    CALCDB_RETURN_NOT_OK(streamer_->Start(options_.command_log_path,
+                                          options_.command_log_flush_ms));
+  }
   CALCDB_RETURN_NOT_OK(MakeCheckpointer());
   EngineContext engine;
   engine.store = store_.get();
@@ -319,17 +343,13 @@ Status Database::Start() {
   engine.phases = &phases_;
   engine.gate = &gate_;
   engine.ckpt_storage = &ckpt_storage_;
+  engine.streamer = streamer_.get();
   executor_ = std::make_unique<Executor>(engine, &registry_,
                                          checkpointer_.get(),
                                          &lock_manager_);
   if (options_.background_merge && checkpointer_->is_partial()) {
     merger_ = std::make_unique<CheckpointMerger>(&ckpt_storage_);
     merger_->StartBackground(options_.merge_batch);
-  }
-  if (!options_.command_log_path.empty()) {
-    streamer_ = std::make_unique<CommandLogStreamer>(&log_);
-    CALCDB_RETURN_NOT_OK(streamer_->Start(options_.command_log_path,
-                                          options_.command_log_flush_ms));
   }
   if (options_.stats_dump_period_ms > 0) {
     stats_reporter_ = std::make_unique<obs::StatsReporter>(

@@ -1,8 +1,10 @@
 #include "log/command_log_streamer.h"
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <thread>
 #include <utility>
 
@@ -30,6 +32,12 @@ void SplitPath(const std::string& base, std::string* dir,
   }
 }
 
+/// Generation numbers are bounded well below 2^64: every accepted number
+/// round-trips through GenerationPath and `max + 1` can never overflow.
+/// A sibling file with an absurd numeric suffix (out of range, or not
+/// producible by GenerationPath) is ignored rather than half-parsed.
+constexpr uint64_t kMaxGeneration = 1000000000000ull;  // 10^12
+
 /// If `entry` is `name` + "." + digits, parses the generation number.
 bool ParseGeneration(const std::string& entry, const std::string& name,
                      uint64_t* gen) {
@@ -37,18 +45,47 @@ bool ParseGeneration(const std::string& entry, const std::string& name,
   if (entry.compare(0, name.size(), name) != 0) return false;
   if (entry[name.size()] != '.') return false;
   const char* digits = entry.c_str() + name.size() + 1;
+  // strtoull would accept leading whitespace/signs; only digits
+  // round-trip through GenerationPath.
+  if (*digits < '0' || *digits > '9') return false;
   char* end = nullptr;
   unsigned long long parsed = std::strtoull(digits, &end, 10);
   if (end == digits || end == nullptr || *end != '\0') return false;
+  if (parsed >= kMaxGeneration) return false;
   *gen = static_cast<uint64_t>(parsed);
   return true;
+}
+
+/// Scans `dir` for generation siblings of `name`. A missing directory
+/// (ENOENT) yields an empty set; any other opendir failure is an error —
+/// treating a momentarily unlistable directory (EACCES, EMFILE, ...) as
+/// empty would make Start() reuse generation 1, clobbering an existing
+/// file, or make recovery silently skip generations it should replay.
+Status ScanGenerations(const std::string& dir, const std::string& name,
+                       std::vector<uint64_t>* gens) {
+  gens->clear();
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) {
+    if (errno == ENOENT) return Status::OK();
+    return Status::IOError("opendir " + dir + ": " +
+                           std::strerror(errno));
+  }
+  while (struct dirent* e = ::readdir(d)) {
+    uint64_t gen = 0;
+    if (ParseGeneration(e->d_name, name, &gen)) gens->push_back(gen);
+  }
+  ::closedir(d);
+  return Status::OK();
 }
 
 }  // namespace
 
 std::string CommandLogStreamer::GenerationPath(const std::string& base,
                                                uint64_t gen) {
-  char buf[16];
+  // Sized for a full uint64 (20 digits) plus '.' and NUL: %06llu is a
+  // minimum width, not a cap, and truncating a large generation would
+  // produce a path that no longer round-trips through the scan.
+  char buf[24];
   std::snprintf(buf, sizeof(buf), ".%06llu",
                 static_cast<unsigned long long>(gen));
   return base + buf;
@@ -60,13 +97,7 @@ Status CommandLogStreamer::ListLogFiles(const std::string& base,
   std::string dir, name;
   SplitPath(base, &dir, &name);
   std::vector<uint64_t> gens;
-  if (DIR* d = ::opendir(dir.c_str())) {
-    while (struct dirent* e = ::readdir(d)) {
-      uint64_t gen = 0;
-      if (ParseGeneration(e->d_name, name, &gen)) gens.push_back(gen);
-    }
-    ::closedir(d);
-  }
+  CALCDB_RETURN_NOT_OK(ScanGenerations(dir, name, &gens));
   std::sort(gens.begin(), gens.end());
   // A bare `base` file predates generation rotation; it holds the oldest
   // entries, so it replays first.
@@ -96,21 +127,22 @@ Status CommandLogStreamer::Start(const std::string& path,
     return Status::InvalidArgument("running");
   }
   // Never reopen (and truncate) an existing generation: earlier
-  // generations may hold the only copy of the pre-crash tail.
+  // generations may hold the only copy of the pre-crash tail. The scan
+  // finds the next free number; exclusive create is the backstop — even
+  // if the scan were wrong, an existing file can never be truncated.
   std::string dir, name;
   SplitPath(path, &dir, &name);
-  uint64_t max_gen = 0;
-  if (DIR* d = ::opendir(dir.c_str())) {
-    while (struct dirent* e = ::readdir(d)) {
-      uint64_t gen = 0;
-      if (ParseGeneration(e->d_name, name, &gen) && gen > max_gen) {
-        max_gen = gen;
-      }
-    }
-    ::closedir(d);
+  std::vector<uint64_t> gens;
+  Status scan_st = ScanGenerations(dir, name, &gens);
+  if (!scan_st.ok()) {
+    running_.store(false, std::memory_order_release);
+    return scan_st;
   }
+  uint64_t max_gen = 0;
+  for (uint64_t gen : gens) max_gen = std::max(max_gen, gen);
   active_path_ = GenerationPath(path, max_gen + 1);
-  Status open_st = writer_.Open(active_path_, /*max_bytes_per_sec=*/0);
+  Status open_st = writer_.Open(active_path_, /*budget=*/nullptr,
+                                /*exclusive=*/true);
   if (!open_st.ok()) {
     running_.store(false, std::memory_order_release);
     return open_st;
@@ -164,7 +196,14 @@ Status CommandLogStreamer::Stop() {
   if (thread_.joinable()) thread_.join();
   CALCDB_RETURN_NOT_OK(background_status());
   // Final drain: everything committed before Stop is durable afterwards.
-  CALCDB_RETURN_NOT_OK(FlushUpTo(log_->Size()));
+  // A drain failure is also recorded as the background status so a
+  // checkpoint cycle blocked in WaitLogDurable observes it and fails
+  // instead of waiting on a horizon that will never advance.
+  Status drain_st = FlushUpTo(log_->Size());
+  if (!drain_st.ok()) {
+    SetBackgroundStatus(drain_st);
+    return drain_st;
+  }
   return writer_.Close();
 }
 

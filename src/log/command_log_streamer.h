@@ -25,13 +25,22 @@ namespace calcdb {
 ///
 /// Log generations. Each process lifetime streams into its own
 /// generation-numbered file, `<path>.NNNNNN`: Start scans for existing
-/// generations and opens max+1 instead of truncating anything. That
-/// closes the restart-clobber hazard — a restart-after-recovery would
-/// otherwise destroy the only log covering the pre-crash tail before any
-/// new checkpoint exists. Recovery replays the generations in order
+/// generations and opens max+1 — with O_EXCL semantics, so an existing
+/// file can never be truncated even if the scan were wrong. That closes
+/// the restart-clobber hazard — a restart-after-recovery would otherwise
+/// destroy the only log covering the pre-crash tail before any new
+/// checkpoint exists. A log directory that exists but cannot be listed
+/// fails Start/ListLogFiles outright (only ENOENT means "no
+/// generations"), and numeric suffixes are bounded (< 10^12) so every
+/// accepted generation round-trips through GenerationPath. Recovery
+/// replays the generations in order
 /// (RecoveryManager::ReplayLogGenerations; retirement rules in
 /// docs/DURABILITY.md). A streamer is single-use: one Start/Stop per
 /// instance, one generation per process lifetime.
+///
+/// Checkpoint cycles use `persisted_lsn()` as a durability barrier: a
+/// checkpoint may be registered in the manifest only after its RESOLVE
+/// token's flush batch is fsynced (Checkpointer::WaitLogDurable).
 ///
 /// Note on durability semantics: like VoltDB's asynchronous command
 /// logging, a window of the most recent commits (up to one flush

@@ -251,9 +251,16 @@ Status RecoveryManager::ReplayLogGenerations(
       }
     }
     if (anchor == files.size()) {
-      // No generation persisted the checkpoint's RESOLVE token. Appends
-      // within a generation are sequential, so nothing *after* that token
-      // persisted either: the checkpoint already covers every durable
+      // No generation persisted the checkpoint's RESOLVE token. Checkpoint
+      // cycles gate registration on the token being fsynced
+      // (Checkpointer::WaitLogDurable; WriteBaseCheckpoint pre-flushes),
+      // so when streaming was on for the checkpoint's lifetime its token
+      // reached that lifetime's generation before the manifest could name
+      // it — a missing token means the only generations that could hold
+      // commits past it have been retired, or the checkpoint was taken
+      // without streaming and appends within its lifetime's generation
+      // (if any) are sequential, so nothing *after* the token persisted
+      // either. Both ways the checkpoint already covers every durable
       // commit, and there is nothing to replay.
       stats->replay_micros = sw.ElapsedMicros();
       return Status::OK();

@@ -39,7 +39,8 @@ constexpr FaultPointInfo kRegistry[] = {
     {"ckpt.segment.finish",
      "CALC segmented capture, before a segment writer's Finish"},
     {"ckpt.register",
-     "Checkpoint cycle, after capture, before Register + PersistManifest"},
+     "Checkpoint cycle, after capture and the log-durability barrier "
+     "(WaitLogDurable), before Register + PersistManifest"},
     {"manifest.write",
      "CheckpointStorage::PersistManifest, before flushing the manifest "
      ".tmp"},

@@ -64,9 +64,11 @@ Status ThrottledFileWriter::Open(const std::string& path,
 }
 
 Status ThrottledFileWriter::Open(const std::string& path,
-                                 std::shared_ptr<TokenBucket> budget) {
+                                 std::shared_ptr<TokenBucket> budget,
+                                 bool exclusive) {
   if (file_ != nullptr) return Status::InvalidArgument("already open");
-  file_ = std::fopen(path.c_str(), "wb");
+  // "x" is C11's O_EXCL: create the file, failing if it already exists.
+  file_ = std::fopen(path.c_str(), exclusive ? "wbx" : "wb");
   if (file_ == nullptr) {
     return Status::IOError("open " + path + ": " + std::strerror(errno));
   }

@@ -75,8 +75,12 @@ class ThrottledFileWriter {
 
   /// Opens (creates/truncates) `path`, drawing bandwidth from `budget`,
   /// which may be shared with other writers. A null budget means
-  /// unthrottled.
-  Status Open(const std::string& path, std::shared_ptr<TokenBucket> budget);
+  /// unthrottled. With `exclusive`, the open fails if `path` already
+  /// exists instead of truncating it (O_CREAT|O_EXCL semantics) — the
+  /// command-log streamer's guarantee that an existing generation can
+  /// never be clobbered.
+  Status Open(const std::string& path, std::shared_ptr<TokenBucket> budget,
+              bool exclusive = false);
 
   /// Appends `n` bytes, blocking as needed to respect the bandwidth cap.
   Status Append(const void* data, size_t n);

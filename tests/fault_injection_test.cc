@@ -231,6 +231,31 @@ TEST_F(FaultInjectionTest, StreamerErrorSurfacesInBackgroundStatus) {
   }
 }
 
+/// The registration durability barrier propagates streamer failures: if
+/// the flusher dies, the RESOLVE token can never become durable, and the
+/// checkpoint cycle must fail *before* Register — a manifest naming a
+/// checkpoint with no durable token would break recovery's anchor rule.
+TEST_F(FaultInjectionTest, CheckpointBarrierPropagatesStreamerFailure) {
+  for (const char* point : {"log.batch_append", "log.fsync"}) {
+    SCOPED_TRACE(point);
+    TempDir dir;
+    std::unique_ptr<Database> db;
+    OpenBankDb(dir, &db, CheckpointAlgorithm::kCalc, /*capture_threads=*/1,
+               /*with_streamer=*/true);
+    fault::ArmError(point);
+    Status st = db->Checkpoint();
+    ASSERT_FALSE(st.ok());
+    EXPECT_TRUE(st.IsIOError()) << st.ToString();
+    EXPECT_NE(st.ToString().find("injected fault"), std::string::npos)
+        << st.ToString();
+    // Nothing was registered: the barrier sits before Register.
+    EXPECT_TRUE(db->checkpoint_storage()->List().empty());
+    // The flusher death is a background failure and fails Shutdown too.
+    EXPECT_FALSE(db->BackgroundStatus().ok());
+    EXPECT_FALSE(db->Shutdown().ok());
+  }
+}
+
 /// Periodic-checkpoint-loop errors likewise surface via
 /// BackgroundStatus() rather than being dropped by the loop thread.
 TEST_F(FaultInjectionTest, PeriodicCheckpointErrorSurfaces) {

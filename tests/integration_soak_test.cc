@@ -83,13 +83,16 @@ TEST(IntegrationSoakTest, EverythingAtOnceThenRecover) {
   recovered->registry()->Register(
       std::make_unique<BatchWriteProcedure>(workload_config.value_size));
   // The streamer writes generation files, never the bare base path.
+  // Two generations: WriteBaseCheckpoint pre-flushes its PoC token into
+  // its own generation (the registration durability barrier), then
+  // Start()'s streamer opens the next one for the lifetime's commits.
   std::vector<std::string> generations;
   ASSERT_TRUE(CommandLogStreamer::ListLogFiles(options.command_log_path,
                                                &generations)
                   .ok());
-  ASSERT_EQ(generations.size(), 1u);
+  ASSERT_EQ(generations.size(), 2u);
   CommitLog replay_log;
-  ASSERT_TRUE(replay_log.LoadFrom(generations[0]).ok());
+  ASSERT_TRUE(replay_log.LoadFrom(generations[1]).ok());
   // The streamed log holds every commit token plus the phase tokens.
   EXPECT_GE(replay_log.Size(), committed);
   RecoveryStats stats;

@@ -1,6 +1,7 @@
 // Tests for the command-log streamer: continuous persistence, torn-tail
 // tolerance, and end-to-end streamed recovery through the Database facade.
 
+#include <fstream>
 #include <memory>
 #include <string>
 #include <thread>
@@ -9,6 +10,7 @@
 #include "gtest/gtest.h"
 #include "log/command_log_streamer.h"
 #include "tests/test_util.h"
+#include "util/throttled_file.h"
 #include "workload/microbench.h"
 
 namespace calcdb {
@@ -89,6 +91,76 @@ TEST(CommandLogStreamerTest, TornTailDiscardedOnLoad) {
   EXPECT_EQ(loaded.Entry(0).args, "complete-entry");
 }
 
+TEST(CommandLogStreamerTest, LargeGenerationNumbersRoundTrip) {
+  TempDir dir;
+  std::string path = dir.path() + "/stream";
+  // %06llu is a minimum width, not a cap: a 12-digit generation must
+  // produce a path that round-trips through the scan untruncated.
+  std::string big = CommandLogStreamer::GenerationPath(path, 123456789012ull);
+  EXPECT_EQ(big, path + ".123456789012");
+  { std::ofstream(big) << "keep"; }
+  // Suffixes GenerationPath cannot produce are ignored, not half-parsed:
+  // out-of-bound numbers, sign characters, trailing junk.
+  { std::ofstream(path + ".99999999999999999999") << "x"; }
+  { std::ofstream(path + ".+5") << "x"; }
+  { std::ofstream(path + ".12junk") << "x"; }
+  std::vector<std::string> files;
+  ASSERT_TRUE(CommandLogStreamer::ListLogFiles(path, &files).ok());
+  ASSERT_EQ(files.size(), 1u);
+  EXPECT_EQ(files[0], big);
+
+  // Start picks max+1 of the accepted generations and never touches the
+  // existing file.
+  CommitLog log;
+  CommandLogStreamer streamer(&log);
+  ASSERT_TRUE(streamer.Start(path, 5).ok());
+  EXPECT_EQ(streamer.active_path(), path + ".123456789013");
+  ASSERT_TRUE(streamer.Stop().ok());
+  std::ifstream in(big);
+  std::string contents;
+  in >> contents;
+  EXPECT_EQ(contents, "keep");
+}
+
+TEST(CommandLogStreamerTest, ExclusiveCreateNeverTruncates) {
+  TempDir dir;
+  std::string path = dir.path() + "/f";
+  { std::ofstream(path) << "precious"; }
+  // The streamer opens its generation with O_EXCL semantics: even if the
+  // generation scan chose an existing file, it cannot be clobbered.
+  ThrottledFileWriter writer;
+  Status st = writer.Open(path, /*budget=*/nullptr, /*exclusive=*/true);
+  EXPECT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsIOError()) << st.ToString();
+  std::ifstream in(path);
+  std::string contents;
+  in >> contents;
+  EXPECT_EQ(contents, "precious");
+}
+
+TEST(CommandLogStreamerTest, UnlistableLogDirFailsInsteadOfClobbering) {
+  TempDir dir;
+  // The base path's directory component is a regular file: opendir fails
+  // with ENOTDIR (not ENOENT). Treating that as "no generations" could
+  // reuse generation 1 and clobber an existing file, so both the scan
+  // and Start must fail loudly instead.
+  std::string notadir = dir.path() + "/notadir";
+  { std::ofstream(notadir) << "file"; }
+  std::string base = notadir + "/stream";
+  std::vector<std::string> files;
+  EXPECT_FALSE(CommandLogStreamer::ListLogFiles(base, &files).ok());
+  CommitLog log;
+  CommandLogStreamer streamer(&log);
+  EXPECT_FALSE(streamer.Start(base, 5).ok());
+  EXPECT_FALSE(streamer.running());
+  EXPECT_TRUE(streamer.Stop().ok());  // failed Start leaves a clean stop
+  // A missing directory stays a soft "no generations yet".
+  ASSERT_TRUE(CommandLogStreamer::ListLogFiles(
+                  dir.path() + "/nosuchdir/stream", &files)
+                  .ok());
+  EXPECT_TRUE(files.empty());
+}
+
 TEST(CommandLogStreamerTest, DoubleStartRejected) {
   TempDir dir;
   CommitLog log;
@@ -97,6 +169,50 @@ TEST(CommandLogStreamerTest, DoubleStartRejected) {
   EXPECT_FALSE(streamer.Start(dir.path() + "/s2", 5).ok());
   EXPECT_TRUE(streamer.Stop().ok());
   EXPECT_TRUE(streamer.Stop().ok());  // idempotent
+}
+
+// The registration durability barrier: a checkpoint may enter the
+// manifest only after its RESOLVE token's flush batch is fsynced.
+// Without the barrier, Checkpoint() returns within a flush interval of
+// appending the token, and a crash in that window leaves a registered
+// checkpoint whose token is in no generation — recovery's anchor rule
+// would then silently skip later lifetimes' durable commits.
+TEST(StreamedRecoveryTest, CheckpointRegistrationWaitsForTokenDurability) {
+  TempDir dir;
+  MicrobenchConfig config;
+  config.num_records = 100;
+  config.value_size = 32;
+  config.ops_per_txn = 3;
+
+  Options options;
+  options.max_records = 512;
+  options.algorithm = CheckpointAlgorithm::kCalc;
+  options.checkpoint_dir = dir.path() + "/ckpt";
+  options.disk_bytes_per_sec = 0;
+  options.command_log_path = dir.path() + "/commandlog";
+  // A flush interval far longer than a checkpoint cycle: when the cycle
+  // reaches registration, nothing it logged is durable yet, so only the
+  // barrier can make the postcondition below hold.
+  options.command_log_flush_ms = 250;
+
+  std::unique_ptr<Database> db;
+  ASSERT_TRUE(Database::Open(options, &db).ok());
+  ASSERT_TRUE(SetupMicrobench(db.get(), config).ok());
+  ASSERT_TRUE(db->Start().ok());
+  MicrobenchWorkload workload(config);
+  Rng rng(7);
+  for (int i = 0; i < 50; ++i) {
+    TxnRequest req = workload.Next(rng);
+    ASSERT_TRUE(
+        db->executor()->Execute(req.proc_id, std::move(req.args), 0).ok());
+  }
+  ASSERT_TRUE(db->Checkpoint().ok());
+  std::vector<CheckpointInfo> chain =
+      db->checkpoint_storage()->RecoveryChain();
+  ASSERT_EQ(chain.size(), 1u);
+  // The token at vpoc_lsn is durable before the cycle returned.
+  EXPECT_GT(db->command_log_streamer()->persisted_lsn(),
+            chain[0].vpoc_lsn);
 }
 
 TEST(StreamedRecoveryTest, DatabaseRecoversFromStreamedLog) {
