@@ -40,10 +40,13 @@ class Flags {
       std::string arg = argv[i];
       if (arg.rfind("--", 0) != 0) continue;
       size_t eq = arg.find('=');
+      // assign(str, pos, len) instead of substr temporaries: gcc 12's
+      // -Wrestrict misfires on the inlined substr-assign at -O2.
       if (eq == std::string::npos) {
         flags_[arg.substr(2)] = "1";
       } else {
-        flags_[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+        flags_[arg.substr(2, eq - 2)].assign(arg, eq + 1,
+                                             std::string::npos);
       }
     }
   }
@@ -146,7 +149,12 @@ inline RunResult RunMicrobenchExperiment(const RunConfig& config,
     return result;
   }
   if (config.base_checkpoint) {
-    db->WriteBaseCheckpoint();
+    st = db->WriteBaseCheckpoint();
+    if (!st.ok()) {
+      std::fprintf(stderr, "base checkpoint failed: %s\n",
+                   st.ToString().c_str());
+      return result;
+    }
   }
   if (!db->Start().ok()) return result;
 

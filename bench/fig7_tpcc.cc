@@ -117,8 +117,9 @@ int main(int argc, char** argv) {
   std::printf("=== Figure 7: TPC-C, 50%% NewOrder / 50%% Payment, full "
               "checkpoint at 1/3 of the window ===\n");
   std::printf("warehouses=%lld seconds=%lld threads=%lld\n",
-              flags.Int("warehouses", 8), flags.Int("seconds", 15),
-              flags.Int("threads", 2));
+              static_cast<long long>(flags.Int("warehouses", 8)),
+              static_cast<long long>(flags.Int("seconds", 15)),
+              static_cast<long long>(flags.Int("threads", 2)));
 
   std::vector<CheckpointAlgorithm> algos =
       AlgorithmsFromFlag(flags, "none,calc,ipp,fuzzy,naive,zigzag");

@@ -127,10 +127,13 @@ bool RunBank(CheckpointAlgorithm algo, const char* label,
   db->registry()->Register(std::make_unique<TransferProcedure>());
   int64_t balance = kInitialBalance;
   for (uint64_t account = 0; account < kNumAccounts; ++account) {
-    db->Load(account,
-             std::string_view(reinterpret_cast<char*>(&balance), 8));
+    if (!db->Load(account,
+                  std::string_view(reinterpret_cast<char*>(&balance), 8))
+             .ok()) {
+      return false;
+    }
   }
-  db->Start();
+  if (!db->Start().ok()) return false;
 
   std::atomic<bool> stop{false};
   std::vector<std::thread> tellers;

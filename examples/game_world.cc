@@ -130,11 +130,14 @@ int64_t RunWorld(CheckpointAlgorithm algo, const char* label) {
   db->registry()->Register(std::make_unique<RaidProcedure>());
   EntityState initial;
   for (uint64_t entity = 0; entity < kNumEntities; ++entity) {
-    db->Load(entity, std::string_view(
-                         reinterpret_cast<char*>(&initial),
-                         sizeof(initial)));
+    if (!db->Load(entity, std::string_view(
+                              reinterpret_cast<char*>(&initial),
+                              sizeof(initial)))
+             .ok()) {
+      return -1;
+    }
   }
-  db->Start();
+  if (!db->Start().ok()) return -1;
 
   // Player threads keep the town busy. The headline metric is how long
   // the checkpointer kept the admission gate closed (quiesce): Zigzag

@@ -84,13 +84,26 @@ int main() {
   // 2. Register procedures and load initial data — before Start().
   db->registry()->Register(std::make_unique<AddProcedure>());
   for (uint64_t key = 0; key < 100; ++key) {
-    db->Load(key, std::string(8, '\0'));
+    st = db->Load(key, std::string(8, '\0'));
+    if (!st.ok()) {
+      std::fprintf(stderr, "load: %s\n", st.ToString().c_str());
+      return 1;
+    }
   }
-  db->Start();
+  st = db->Start();
+  if (!st.ok()) {
+    std::fprintf(stderr, "start: %s\n", st.ToString().c_str());
+    return 1;
+  }
 
-  // 3. Run transactions.
+  // 3. Run transactions. A single-threaded add can never conflict, so any
+  // non-OK status here is a real engine failure.
   for (int i = 0; i < 1000; ++i) {
-    db->executor()->Execute(kAddProcId, AddArgs(i % 100, 1), 0);
+    st = db->executor()->Execute(kAddProcId, AddArgs(i % 100, 1), 0);
+    if (!st.ok()) {
+      std::fprintf(stderr, "txn: %s\n", st.ToString().c_str());
+      return 1;
+    }
   }
   std::printf("counter[7] after 1000 adds: %llu\n",
               static_cast<unsigned long long>(ReadCounter(db.get(), 7)));
@@ -108,22 +121,38 @@ int main() {
 
   // 5. More transactions after the checkpoint, then "crash".
   for (int i = 0; i < 500; ++i) {
-    db->executor()->Execute(kAddProcId, AddArgs(i % 100, 1), 0);
+    st = db->executor()->Execute(kAddProcId, AddArgs(i % 100, 1), 0);
+    if (!st.ok()) {
+      std::fprintf(stderr, "txn: %s\n", st.ToString().c_str());
+      return 1;
+    }
   }
-  db->commit_log()->PersistTo(log_path);  // command logging
+  st = db->commit_log()->PersistTo(log_path);  // command logging
+  if (!st.ok()) {
+    std::fprintf(stderr, "persist log: %s\n", st.ToString().c_str());
+    return 1;
+  }
   uint64_t before_crash = ReadCounter(db.get(), 7);
   db.reset();  // all volatile state is gone
 
   // 6. Recover: load the checkpoint, then deterministically replay the
   // command log's post-checkpoint transactions.
   std::unique_ptr<Database> recovered;
-  Database::Open(options, &recovered);
+  st = Database::Open(options, &recovered);
+  if (!st.ok()) {
+    std::fprintf(stderr, "reopen: %s\n", st.ToString().c_str());
+    return 1;
+  }
   recovered->registry()->Register(std::make_unique<AddProcedure>());
   CommitLog replay_log;
-  replay_log.LoadFrom(log_path);
+  st = replay_log.LoadFrom(log_path);
+  if (!st.ok()) {
+    std::fprintf(stderr, "load log: %s\n", st.ToString().c_str());
+    return 1;
+  }
   RecoveryStats stats;
   st = recovered->Recover(&replay_log, &stats);
-  recovered->Start();
+  if (!recovered->Start().ok()) return 1;
 
   std::printf("recovery: %s — %llu checkpoint entries, %llu txns "
               "replayed, %.1f ms load + %.1f ms replay\n",

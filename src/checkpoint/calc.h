@@ -75,7 +75,7 @@ class CalcCheckpointer : public Checkpointer {
   void ApplyWrite(Txn& txn, Record& rec, Value* new_val) override;
   void OnCommit(Txn& txn) override;
 
-  Status RunCheckpointCycle() override;
+  [[nodiscard]] Status RunCheckpointCycle() override;
 
   /// Peak number of live stable versions during the last cycle (Fig 6:
   /// CALC "only requires extra space for records written during the short
@@ -102,18 +102,22 @@ class CalcCheckpointer : public Checkpointer {
   void EraseStable(Record& rec);
 
   /// Captures one record; emits at most one entry into `writer`.
-  Status CaptureRecord(Record& rec, CheckpointFileWriter* writer);
+  [[nodiscard]] Status CaptureRecord(Record& rec,
+                                     CheckpointFileWriter* writer);
 
-  Status CaptureAll(uint32_t slot_limit, CheckpointFileWriter* writer);
-  Status CapturePartial(uint32_t slot_limit, CheckpointFileWriter* writer);
+  [[nodiscard]] Status CaptureAll(uint32_t slot_limit,
+                                  CheckpointFileWriter* writer);
+  [[nodiscard]] Status CapturePartial(uint32_t slot_limit,
+                                      CheckpointFileWriter* writer);
 
   /// Parallel segmented capture: shards the capture work into contiguous
   /// ranges, one worker + one segment file per range. On success fills
   /// `info->segments`, `info->num_entries` and `stats` capture fields.
-  Status CaptureSegmented(uint32_t slot_limit, CheckpointType type,
-                          uint64_t id, uint64_t vpoc_lsn,
-                          CheckpointInfo* info,
-                          CheckpointCycleStats* stats);
+  [[nodiscard]] Status CaptureSegmented(uint32_t slot_limit,
+                                        CheckpointType type, uint64_t id,
+                                        uint64_t vpoc_lsn,
+                                        CheckpointInfo* info,
+                                        CheckpointCycleStats* stats);
 
   /// Blocks until there is no active transaction whose start phase is in
   /// `phases` ("wait for all active txns to have start-phase == X").

@@ -95,7 +95,7 @@ class Checkpointer {
 
   /// Takes one checkpoint synchronously on the calling thread; returns
   /// once the checkpoint is durable and the system is back at rest.
-  virtual Status RunCheckpointCycle() = 0;
+  [[nodiscard]] virtual Status RunCheckpointCycle() = 0;
 
   /// Stats of the most recent completed cycle.
   CheckpointCycleStats last_cycle() const {
@@ -114,7 +114,7 @@ class Checkpointer {
   /// persisted" (docs/DURABILITY.md). Returns the streamer's error if it
   /// can no longer make progress, failing the cycle before anything is
   /// registered.
-  Status WaitLogDurable(uint64_t vpoc_lsn);
+  [[nodiscard]] Status WaitLogDurable(uint64_t vpoc_lsn);
 
   /// Publishes cycle stats and mirrors them into the metrics registry
   /// (per-algorithm counters + duration histograms). Cold path: runs
@@ -137,7 +137,7 @@ class NoCheckpointer : public Checkpointer {
 
   void ApplyWrite(Txn& txn, Record& rec, Value* new_val) override;
 
-  Status RunCheckpointCycle() override {
+  [[nodiscard]] Status RunCheckpointCycle() override {
     return Status::NotSupported("NoCheckpointer takes no checkpoints");
   }
 };

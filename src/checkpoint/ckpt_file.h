@@ -43,28 +43,30 @@ class CheckpointFileWriter {
   CheckpointFileWriter(const CheckpointFileWriter&) = delete;
   CheckpointFileWriter& operator=(const CheckpointFileWriter&) = delete;
 
-  Status Open(const std::string& path, CheckpointType type, uint64_t id,
-              uint64_t vpoc_lsn, uint64_t max_bytes_per_sec);
+  [[nodiscard]] Status Open(const std::string& path, CheckpointType type,
+                            uint64_t id, uint64_t vpoc_lsn,
+                            uint64_t max_bytes_per_sec);
 
   /// As above, but drawing bandwidth from `budget` (which may be shared
   /// with other writers — e.g. sibling segment writers of one parallel
   /// capture — so the configured rate caps their combined output).
-  Status Open(const std::string& path, CheckpointType type, uint64_t id,
-              uint64_t vpoc_lsn, std::shared_ptr<TokenBucket> budget);
+  [[nodiscard]] Status Open(const std::string& path, CheckpointType type,
+                            uint64_t id, uint64_t vpoc_lsn,
+                            std::shared_ptr<TokenBucket> budget);
 
-  Status Append(uint64_t key, std::string_view value);
-  Status AppendTombstone(uint64_t key);
+  [[nodiscard]] Status Append(uint64_t key, std::string_view value);
+  [[nodiscard]] Status AppendTombstone(uint64_t key);
 
   /// Writes the footer, fsyncs and closes. The checkpoint is durable and
   /// loadable only after Finish succeeds — a crash mid-write leaves a
   /// file the reader rejects.
-  Status Finish();
+  [[nodiscard]] Status Finish();
 
   uint64_t entries_written() const { return count_; }
   uint64_t bytes_written() const { return writer_.bytes_written(); }
 
  private:
-  Status AppendRaw(const void* data, size_t n);
+  [[nodiscard]] Status AppendRaw(const void* data, size_t n);
 
   ThrottledFileWriter writer_;
   uint64_t count_ = 0;
@@ -78,7 +80,7 @@ class CheckpointFileReader {
   CheckpointFileReader(const CheckpointFileReader&) = delete;
   CheckpointFileReader& operator=(const CheckpointFileReader&) = delete;
 
-  Status Open(const std::string& path);
+  [[nodiscard]] Status Open(const std::string& path);
 
   CheckpointType type() const { return type_; }
   uint64_t id() const { return id_; }
@@ -86,11 +88,11 @@ class CheckpointFileReader {
 
   /// Reads the next entry. Sets `*eof` when the (validated) footer is
   /// reached; the entry is valid only when `*eof` is false.
-  Status Next(CheckpointEntry* entry, bool* eof);
+  [[nodiscard]] Status Next(CheckpointEntry* entry, bool* eof);
 
   /// Convenience: iterates every entry through `fn` and validates the
   /// footer. `fn` returning non-OK aborts the scan.
-  Status ReadAll(
+  [[nodiscard]] Status ReadAll(
       const std::function<Status(const CheckpointEntry&)>& fn);
 
  private:

@@ -51,7 +51,7 @@ class CheckpointStorage {
   CheckpointStorage(const CheckpointStorage&) = delete;
   CheckpointStorage& operator=(const CheckpointStorage&) = delete;
 
-  Status Init();
+  [[nodiscard]] Status Init();
 
   /// Allocates the next checkpoint id.
   uint64_t NextId() {
@@ -87,12 +87,13 @@ class CheckpointStorage {
   /// Atomically replaces checkpoints `retired_ids` with `merged` in the
   /// manifest and deletes the retired files. `merged` must already be
   /// durable.
-  Status ReplaceCollapsed(const std::vector<uint64_t>& retired_ids,
-                          const CheckpointInfo& merged);
+  [[nodiscard]] Status ReplaceCollapsed(
+      const std::vector<uint64_t>& retired_ids,
+      const CheckpointInfo& merged);
 
   /// Persists / reloads the manifest (for recovery across restarts).
-  Status PersistManifest() const;
-  Status LoadManifest();
+  [[nodiscard]] Status PersistManifest() const;
+  [[nodiscard]] Status LoadManifest();
 
   const std::string& dir() const { return dir_; }
   uint64_t disk_bytes_per_sec() const { return disk_bytes_per_sec_; }

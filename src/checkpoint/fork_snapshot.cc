@@ -96,6 +96,10 @@ void ForkSnapshotCheckpointer::ApplyWrite(Txn& txn, Record& rec,
   rec.live = new_val;
 }
 
+// lint:allow(crash-point-coverage): runs in the forked child, where a
+// crash-mode probe would only kill the child, not the process under
+// test; the child's fault channel is its exit code, which the parent
+// converts to Status (ROADMAP open item: child-side fault coverage).
 int ForkSnapshotCheckpointer::ChildWriteSnapshot(int fd, uint32_t slots,
                                                  uint64_t id,
                                                  uint64_t poc_lsn) {
@@ -147,6 +151,8 @@ Status ForkSnapshotCheckpointer::RunCheckpointCycle() {
   stats.checkpoint_id = id;
 
   std::string path = engine_.ckpt_storage->PathFor(id, CheckpointType::kFull);
+  // lint:allow(raw-io): the forked child must write through a raw fd —
+  // sharing a buffered stdio stream across fork() would double-flush.
   int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
   if (fd < 0) {
     return Status::IOError("open " + path + ": " + std::strerror(errno));

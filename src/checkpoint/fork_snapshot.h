@@ -32,7 +32,7 @@ class ForkSnapshotCheckpointer : public Checkpointer {
 
   void ApplyWrite(Txn& txn, Record& rec, Value* new_val) override;
 
-  Status RunCheckpointCycle() override;
+  [[nodiscard]] Status RunCheckpointCycle() override;
 
  private:
   /// Runs in the forked child: writes every present record to `fd` in the

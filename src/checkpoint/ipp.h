@@ -45,7 +45,7 @@ class IppCheckpointer : public Checkpointer {
 
   void ApplyWrite(Txn& txn, Record& rec, Value* new_val) override;
 
-  Status RunCheckpointCycle() override;
+  [[nodiscard]] Status RunCheckpointCycle() override;
 
  private:
   IppOptions options_;

@@ -34,7 +34,7 @@ class CheckpointMerger {
   /// Collapses the newest full checkpoint with up to `max_partials`
   /// partials following it. `*did_merge` reports whether anything was
   /// merged (false when fewer than one partial exists).
-  Status CollapseOnce(size_t max_partials, bool* did_merge);
+  [[nodiscard]] Status CollapseOnce(size_t max_partials, bool* did_merge);
 
   /// Starts a low-priority thread that collapses whenever at least
   /// `trigger_batch` partials have accumulated after the newest full

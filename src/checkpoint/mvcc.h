@@ -51,7 +51,7 @@ class MvccCheckpointer : public Checkpointer {
   void ApplyWrite(Txn& txn, Record& rec, Value* new_val) override;
   void OnCommit(Txn& txn) override;
 
-  Status RunCheckpointCycle() override;
+  [[nodiscard]] Status RunCheckpointCycle() override;
 
   /// Number of version nodes currently alive (tests / memory analysis).
   int64_t live_versions() const {

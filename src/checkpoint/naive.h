@@ -38,7 +38,7 @@ class NaiveSnapshotCheckpointer : public Checkpointer {
   void ApplyWrite(Txn& txn, Record& rec, Value* new_val) override;
   void OnCommit(Txn& txn) override;
 
-  Status RunCheckpointCycle() override;
+  [[nodiscard]] Status RunCheckpointCycle() override;
 
  private:
   NaiveOptions options_;

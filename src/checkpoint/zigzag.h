@@ -46,7 +46,7 @@ class ZigzagCheckpointer : public Checkpointer {
   void ApplyWrite(Txn& txn, Record& rec, Value* new_val) override;
   void OnCommit(Txn& txn) override;
 
-  Status RunCheckpointCycle() override;
+  [[nodiscard]] Status RunCheckpointCycle() override;
 
  private:
   /// Pointer to the record's version slot `v` (0 => live, 1 => stable).

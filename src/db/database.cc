@@ -121,7 +121,11 @@ Database::Database(const Options& options)
       ckpt_storage_(options.checkpoint_dir, options.disk_bytes_per_sec),
       lock_manager_(options.lock_stripes) {}
 
-Database::~Database() { Shutdown(); }
+Database::~Database() {
+  // calcdb-status-ignored: destructor has no error channel; callers that
+  // need the final log drain to be durable call Shutdown() and check.
+  (void)Shutdown();
+}
 
 Status Database::Shutdown() {
   Status st;

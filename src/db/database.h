@@ -46,8 +46,8 @@ namespace calcdb {
 /// All methods are safe to call from multiple threads after Start().
 class Database {
  public:
-  static Status Open(const Options& options,
-                     std::unique_ptr<Database>* db);
+  [[nodiscard]] static Status Open(const Options& options,
+                                   std::unique_ptr<Database>* db);
   ~Database();
 
   Database(const Database&) = delete;
@@ -57,12 +57,13 @@ class Database {
   ProcedureRegistry* registry() { return &registry_; }
 
   /// Bulk-loads one record. Only before Start().
-  Status Load(uint64_t key, std::string_view value);
+  [[nodiscard]] Status Load(uint64_t key, std::string_view value);
 
   /// Restores state from the checkpoint directory: loads the manifest's
   /// recovery chain and, if `replay_log` is non-null, deterministically
   /// replays its committed transactions. Only before Start().
-  Status Recover(const CommitLog* replay_log, RecoveryStats* stats);
+  [[nodiscard]] Status Recover(const CommitLog* replay_log,
+                               RecoveryStats* stats);
 
   /// Full crash recovery: loads the manifest's recovery chain, then
   /// replays the streamed command-log generations at
@@ -70,26 +71,26 @@ class Database {
   /// Bulk-loaded records (Load) are not in the command log — re-seed them
   /// before calling this when recovering a database that was seeded by
   /// Load rather than by logged transactions. Only before Start().
-  Status RecoverFromCommandLog(RecoveryStats* stats);
+  [[nodiscard]] Status RecoverFromCommandLog(RecoveryStats* stats);
 
   /// Writes a full checkpoint of the currently loaded state, providing
   /// the base that partial checkpoints merge onto. Only before Start().
-  Status WriteBaseCheckpoint();
+  [[nodiscard]] Status WriteBaseCheckpoint();
 
   /// Attaches the configured checkpointer and enables execution.
-  Status Start();
+  [[nodiscard]] Status Start();
 
   /// Takes one checkpoint, synchronously (paper Figure 1's
   /// RunCheckpointer body; the caller supplies the "signal to start
   /// checkpointing" by invoking this). Requires Start().
-  Status Checkpoint();
+  [[nodiscard]] Status Checkpoint();
 
   /// Runs Figure 1's RunCheckpointer loop on a background thread: rest,
   /// then a checkpoint cycle every `interval_ms` (measured start to
   /// start; a cycle longer than the interval begins the next one
   /// immediately). Requires Start(); stopped by StopPeriodicCheckpoints
   /// or Shutdown.
-  Status StartPeriodicCheckpoints(int interval_ms);
+  [[nodiscard]] Status StartPeriodicCheckpoints(int interval_ms);
   void StopPeriodicCheckpoints();
 
   /// Number of checkpoint cycles completed by the periodic loop.
@@ -102,11 +103,11 @@ class Database {
   /// Background failures must surface somewhere a caller can see them —
   /// silently dropping a checkpoint-cycle error would turn an injected
   /// IO failure into a silent loss of durability.
-  Status BackgroundStatus() const;
+  [[nodiscard]] Status BackgroundStatus() const;
 
   /// Transactionally-consistent point read through the checkpointer's
   /// read hook (non-transactional convenience for tools/tests).
-  Status Read(uint64_t key, std::string* value);
+  [[nodiscard]] Status Read(uint64_t key, std::string* value);
 
   /// Human-readable engine statistics: transaction counters, store
   /// occupancy, checkpoint history, memory accounting. One key per line
@@ -123,7 +124,7 @@ class Database {
 
   /// Stops background services (command-log streamer, merger) and flushes
   /// the command log; called automatically by the destructor. Idempotent.
-  Status Shutdown();
+  [[nodiscard]] Status Shutdown();
   PhaseController* phases() { return &phases_; }
   AdmissionGate* gate() { return &gate_; }
   const Options& options() const { return options_; }
@@ -138,7 +139,7 @@ class Database {
  private:
   explicit Database(const Options& options);
 
-  Status MakeCheckpointer();
+  [[nodiscard]] Status MakeCheckpointer();
   void SetBackgroundStatus(const Status& st);
 
   Options options_;

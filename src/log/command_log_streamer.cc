@@ -22,13 +22,19 @@ namespace {
 /// Splits `base` into its directory ("." when none) and filename.
 void SplitPath(const std::string& base, std::string* dir,
                std::string* name) {
+  // assign(str, pos, len) instead of substr temporaries: gcc 12's
+  // -Wrestrict misfires on the inlined substr-assign at -O2.
   size_t slash = base.rfind('/');
   if (slash == std::string::npos) {
-    *dir = ".";
-    *name = base;
+    dir->assign(".");
+    name->assign(base);
   } else {
-    *dir = slash == 0 ? "/" : base.substr(0, slash);
-    *name = base.substr(slash + 1);
+    if (slash == 0) {
+      dir->assign("/");
+    } else {
+      dir->assign(base, 0, slash);
+    }
+    name->assign(base, slash + 1, std::string::npos);
   }
 }
 

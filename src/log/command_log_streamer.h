@@ -51,18 +51,24 @@ namespace calcdb {
 class CommandLogStreamer {
  public:
   explicit CommandLogStreamer(const CommitLog* log) : log_(log) {}
-  ~CommandLogStreamer() { Stop(); }
+  ~CommandLogStreamer() {
+    // calcdb-status-ignored: destructor has no error channel; Stop()
+    // already folds final-drain failures into background_status, and
+    // durability-sensitive callers invoke Stop() directly and check.
+    (void)Stop();
+  }
 
   CommandLogStreamer(const CommandLogStreamer&) = delete;
   CommandLogStreamer& operator=(const CommandLogStreamer&) = delete;
 
   /// Picks the next unused generation of `path`, opens it, and starts the
   /// streaming thread. Never touches earlier generations.
-  Status Start(const std::string& path, int flush_interval_ms = 10);
+  [[nodiscard]] Status Start(const std::string& path,
+                             int flush_interval_ms = 10);
 
   /// Drains every entry currently in the log, fsyncs, and stops. Returns
   /// the first background flush error if the streaming thread died.
-  Status Stop();
+  [[nodiscard]] Status Stop();
 
   /// LSNs [0, persisted_lsn) are durable in this streamer's generation.
   uint64_t persisted_lsn() const {
@@ -75,7 +81,7 @@ class CommandLogStreamer {
   std::string active_path() const;
 
   /// First error the background flush thread hit (OK while healthy).
-  Status background_status() const;
+  [[nodiscard]] Status background_status() const;
 
   /// `base` + ".NNNNNN" for generation `gen`.
   static std::string GenerationPath(const std::string& base, uint64_t gen);
@@ -83,11 +89,11 @@ class CommandLogStreamer {
   /// All existing generations of `base`, in replay order: a bare legacy
   /// `base` file first (generation 0, from before rotation existed), then
   /// `base.NNNNNN` ascending. Missing directory yields an empty list.
-  static Status ListLogFiles(const std::string& base,
-                             std::vector<std::string>* out);
+  [[nodiscard]] static Status ListLogFiles(const std::string& base,
+                                           std::vector<std::string>* out);
 
  private:
-  Status FlushUpTo(uint64_t target_lsn);
+  [[nodiscard]] Status FlushUpTo(uint64_t target_lsn);
   void SetBackgroundStatus(const Status& st);
 
   const CommitLog* log_;

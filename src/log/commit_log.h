@@ -122,11 +122,11 @@ class CommitLog {
 
   /// Serializes entries to a file (length-prefixed, CRC-protected) so
   /// recovery can replay across a process restart.
-  Status PersistTo(const std::string& path) const;
+  [[nodiscard]] Status PersistTo(const std::string& path) const;
 
   /// Loads entries from a file previously written by PersistTo, replacing
   /// current contents.
-  Status LoadFrom(const std::string& path);
+  [[nodiscard]] Status LoadFrom(const std::string& path);
 
  private:
   mutable SpinLatch latch_;

@@ -52,6 +52,8 @@ void StatsReporter::WriteSnapshot() {
     std::snprintf(ts, sizeof(ts), "%lld",
                   static_cast<long long>(NowMicros()));
     std::string json = registry.SnapshotJson({{"ts_us", ts}});
+    // lint:allow(raw-io): metrics sink, not durability-bearing — a lost
+    // or torn stats line never loses committed data.
     std::FILE* f = std::fopen(path_.c_str(), "a");
     if (f == nullptr) return;
     std::fwrite(json.data(), 1, json.size(), f);

@@ -145,6 +145,8 @@ void Tracer::EmitInstant(const char* name, const char* cat, uint64_t arg) {
 
 bool Tracer::ExportJson(const std::string& path) const {
   std::string json = ToJson();
+  // lint:allow(raw-io): trace export is a diagnostics artifact; it is
+  // not part of the recovery chain and needs no fsync discipline.
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) return false;
   size_t written = std::fwrite(json.data(), 1, json.size(), f);

@@ -79,8 +79,10 @@ Status ApplyCheckpointFile(const std::string& path, KVStore* store,
                        entry.value.size() + sizeof(entry.key));
     if (entry.tombstone) {
       // Deleting an absent key is fine: a partial may tombstone a
-      // record the loaded base never contained.
-      store->Delete(entry.key);
+      // record the loaded base never contained. Anything other than
+      // NotFound still propagates.
+      Status del = store->Delete(entry.key);
+      if (!del.ok() && !del.IsNotFound()) return del;
       return Status::OK();
     }
     return store->Put(entry.key, entry.value);

@@ -56,13 +56,16 @@ class RecoveryManager {
   /// `load_threads > 1` loads the segment files of each checkpoint with a
   /// parallel worker pool (segments of one checkpoint hold disjoint keys;
   /// checkpoints still apply in chain order so latest-wins is preserved).
-  static Status LoadCheckpoints(CheckpointStorage* storage, KVStore* store,
-                                RecoveryStats* stats, int load_threads = 1);
+  [[nodiscard]] static Status LoadCheckpoints(CheckpointStorage* storage,
+                                              KVStore* store,
+                                              RecoveryStats* stats,
+                                              int load_threads = 1);
 
   /// Replays committed transactions with LSN > stats->replay_from_lsn.
-  static Status ReplayLog(const CommitLog& log,
-                          const ProcedureRegistry& registry, KVStore* store,
-                          RecoveryStats* stats);
+  [[nodiscard]] static Status ReplayLog(const CommitLog& log,
+                                        const ProcedureRegistry& registry,
+                                        KVStore* store,
+                                        RecoveryStats* stats);
 
   /// Replays a sequence of streamed command-log generation files (oldest
   /// first, as CommandLogStreamer::ListLogFiles returns them) on top of a
@@ -78,14 +81,17 @@ class RecoveryManager {
   /// token persisted either, and there is nothing to replay. With no
   /// checkpoints loaded every generation replays in full. See
   /// docs/DURABILITY.md, "Composing recovery with streamed logs".
-  static Status ReplayLogGenerations(const std::vector<std::string>& files,
-                                     const ProcedureRegistry& registry,
-                                     KVStore* store, RecoveryStats* stats);
+  [[nodiscard]] static Status ReplayLogGenerations(
+      const std::vector<std::string>& files,
+      const ProcedureRegistry& registry, KVStore* store,
+      RecoveryStats* stats);
 
   /// LoadCheckpoints + ReplayLog.
-  static Status Recover(CheckpointStorage* storage, const CommitLog& log,
-                        const ProcedureRegistry& registry, KVStore* store,
-                        RecoveryStats* stats, int load_threads = 1);
+  [[nodiscard]] static Status Recover(CheckpointStorage* storage,
+                                      const CommitLog& log,
+                                      const ProcedureRegistry& registry,
+                                      KVStore* store, RecoveryStats* stats,
+                                      int load_threads = 1);
 };
 
 }  // namespace calcdb

@@ -59,9 +59,9 @@ class KVStore {
 
   /// Convenience non-transactional accessors (loading, tests, recovery).
   /// Not for use while worker threads are running.
-  Status Put(uint64_t key, std::string_view value);
-  Status Get(uint64_t key, std::string* value) const;
-  Status Delete(uint64_t key);
+  [[nodiscard]] Status Put(uint64_t key, std::string_view value);
+  [[nodiscard]] Status Get(uint64_t key, std::string* value) const;
+  [[nodiscard]] Status Delete(uint64_t key);
 
   /// Number of present (non-tombstone) records. O(slots).
   uint64_t CountPresent() const;

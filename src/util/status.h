@@ -11,7 +11,16 @@ namespace calcdb {
 /// A Status carries a coarse error code plus a human-readable message. All
 /// fallible public APIs in calcdb return Status (or set one via an output
 /// parameter) instead of throwing; exceptions are not used in this codebase.
-class Status {
+///
+/// The class itself is [[nodiscard]]: every function returning Status by
+/// value is implicitly nodiscard, so a silently dropped fsync/rename/append
+/// result is a compile-time warning (-Werror=unused-result in CI). A caller
+/// must propagate the Status, fold it into a background_status slot, or —
+/// when ignoring it is provably safe — cast it away with `(void)` and a
+/// trailing `// calcdb-status-ignored: <reason>` comment, which
+/// tools/lint_durability.py requires to carry a justification. See
+/// docs/STATIC_ANALYSIS.md.
+class [[nodiscard]] Status {
  public:
   enum class Code {
     kOk = 0,

@@ -71,7 +71,8 @@ class ThrottledFileWriter {
 
   /// Opens (creates/truncates) `path`. `max_bytes_per_sec == 0` means
   /// unthrottled. The budget is private to this writer.
-  Status Open(const std::string& path, uint64_t max_bytes_per_sec);
+  [[nodiscard]] Status Open(const std::string& path,
+                            uint64_t max_bytes_per_sec);
 
   /// Opens (creates/truncates) `path`, drawing bandwidth from `budget`,
   /// which may be shared with other writers. A null budget means
@@ -79,21 +80,22 @@ class ThrottledFileWriter {
   /// exists instead of truncating it (O_CREAT|O_EXCL semantics) — the
   /// command-log streamer's guarantee that an existing generation can
   /// never be clobbered.
-  Status Open(const std::string& path, std::shared_ptr<TokenBucket> budget,
-              bool exclusive = false);
+  [[nodiscard]] Status Open(const std::string& path,
+                            std::shared_ptr<TokenBucket> budget,
+                            bool exclusive = false);
 
   /// Appends `n` bytes, blocking as needed to respect the bandwidth cap.
-  Status Append(const void* data, size_t n);
+  [[nodiscard]] Status Append(const void* data, size_t n);
 
   /// Flushes buffered data to the OS.
-  Status Flush();
+  [[nodiscard]] Status Flush();
 
   /// Flushes and fsyncs, keeping the file open: the durability barrier
   /// the command-log streamer issues after every batch.
-  Status Sync();
+  [[nodiscard]] Status Sync();
 
   /// Flushes, fsyncs and closes. Safe to call twice.
-  Status Close();
+  [[nodiscard]] Status Close();
 
   uint64_t bytes_written() const { return bytes_written_; }
   bool is_open() const { return file_ != nullptr; }
@@ -115,16 +117,16 @@ class SequentialFileReader {
   SequentialFileReader(const SequentialFileReader&) = delete;
   SequentialFileReader& operator=(const SequentialFileReader&) = delete;
 
-  Status Open(const std::string& path);
+  [[nodiscard]] Status Open(const std::string& path);
 
   /// Reads exactly `n` bytes. Returns IOError on short read / EOF.
-  Status ReadExact(void* out, size_t n);
+  [[nodiscard]] Status ReadExact(void* out, size_t n);
 
   /// Attempts to read up to `n` bytes; sets `*read_n` to the count.
-  Status Read(void* out, size_t n, size_t* read_n);
+  [[nodiscard]] Status Read(void* out, size_t n, size_t* read_n);
 
   bool AtEof();
-  Status Close();
+  [[nodiscard]] Status Close();
 
   uint64_t bytes_read() const { return bytes_read_; }
 

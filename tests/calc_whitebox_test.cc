@@ -425,7 +425,9 @@ TEST(PCalcWhiteboxTest, DirtyTrackerVariantsAllCorrect) {
       EXPECT_EQ(checkpoint[k], "mut");
     }
     for (const auto& [key, value] : checkpoint) {
-      if (key >= 8) EXPECT_EQ(value, "init");
+      if (key >= 8) {
+        EXPECT_EQ(value, "init");
+      }
     }
   }
 }

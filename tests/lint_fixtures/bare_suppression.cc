@@ -1,0 +1,17 @@
+// expect-lint: suppression-reason dropped-status
+//
+// A calcdb-status-ignored marker with no reason: it is not a valid
+// suppression (dropped-status still fires) and the bare marker is
+// itself flagged.
+
+#include "util/status.h"
+#include "util/throttled_file.h"
+
+namespace calcdb {
+
+void SilencedWithoutJustification(ThrottledFileWriter* w) {
+  // calcdb-status-ignored
+  (void)w->Close();
+}
+
+}  // namespace calcdb

@@ -1,0 +1,16 @@
+// expect-lint: dropped-status
+//
+// A (void)-cast of a Status-returning call with no
+// `calcdb-status-ignored: <reason>` comment: the [[nodiscard]] warning
+// was silenced without telling the next reader why the drop is safe.
+
+#include "util/status.h"
+#include "util/throttled_file.h"
+
+namespace calcdb {
+
+void DropTheSyncResult(ThrottledFileWriter* w) {
+  (void)w->Sync();
+}
+
+}  // namespace calcdb

@@ -1,0 +1,13 @@
+// expect-lint: crash-point-coverage
+//
+// A function that fsyncs — a durability-critical step — but contains no
+// CALCDB_CRASH_POINT / CALCDB_FAULT_STATUS / CALCDB_FAULT_POINT probe,
+// so tests/crash_torture_test.cc can never kill the process here.
+
+namespace calcdb {
+
+bool BarrierWithoutProbe(int fd) {
+  return ::fsync(fd) == 0;
+}
+
+}  // namespace calcdb

@@ -1,0 +1,18 @@
+// expect-lint: raw-io
+//
+// Raw fopen() outside util/throttled_file.cc / checkpoint/
+// ckpt_storage.cc / util/fault_injection.cc: durability IO must go
+// through the layers that own the fsync discipline and fault probes.
+
+#include <cstdio>
+
+namespace calcdb {
+
+bool WriteSideChannel(const char* path) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) return false;
+  std::fputs("not durable\n", f);
+  return std::fclose(f) == 0;
+}
+
+}  // namespace calcdb

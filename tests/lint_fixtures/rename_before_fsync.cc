@@ -1,0 +1,17 @@
+// expect-lint: fsync-before-rename raw-io crash-point-coverage
+//
+// The classic torn-manifest bug: publish the new name before the
+// contents are durable. One bad publish honestly trips three rules —
+// the ordering itself, raw rename() outside the sanctioned IO layers,
+// and a durability-critical function the crash-torture matrix cannot
+// kill (no fault probe).
+
+#include <cstdio>
+
+namespace calcdb {
+
+bool PublishWithoutSync(const char* tmp, const char* final_name) {
+  return std::rename(tmp, final_name) == 0;
+}
+
+}  // namespace calcdb

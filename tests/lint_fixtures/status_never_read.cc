@@ -1,0 +1,15 @@
+// expect-lint: status-never-read
+//
+// A Status local that is assigned but never consulted: the error is
+// dropped even though no (void) cast appears anywhere.
+
+#include "util/status.h"
+#include "util/throttled_file.h"
+
+namespace calcdb {
+
+void StoreAndForget(ThrottledFileWriter* w) {
+  Status st = w->Sync();
+}
+
+}  // namespace calcdb

@@ -1,0 +1,775 @@
+#!/usr/bin/env python3
+"""Repo-specific durability-protocol linter for calcdb.
+
+Sibling of lint_concurrency.py (which covers memory-ordering and locking
+invariants); this tool covers the *error-swallowing and IO-ordering* bug
+class that crash-recovery protocols die from (docs/STATIC_ANALYSIS.md).
+calcdb::Status is [[nodiscard]], so the compiler already rejects a bare
+dropped return; these rules police everything the type system cannot see:
+
+  dropped-status        A `(void)`-cast discarding a Status (a cast of a
+                        call to any Status-returning function declared in
+                        the tree's headers, or of a local declared as
+                        Status) must carry a
+                        `// calcdb-status-ignored: <reason>` comment on
+                        the same line or just above. `(void)` is how a
+                        [[nodiscard]] warning is silenced, so every such
+                        cast is a deliberate drop — and deliberate drops
+                        need a written justification.
+  suppression-reason    Every `calcdb-status-ignored` marker must be
+                        followed by `:` and a non-empty reason. A bare
+                        marker silences the compiler while telling the
+                        next reader nothing.
+  status-never-read     A local `Status` variable that is declared (and
+                        possibly assigned) but never read before its
+                        scope ends. An unread status is a dropped status
+                        wearing a variable name.
+  fsync-before-rename   Inside one function, a `rename()` call must be
+                        preceded by an `fsync()`: publishing a file name
+                        whose contents are not yet durable lets a power
+                        cut surface stale bytes under the new name
+                        (docs/DURABILITY.md, manifest protocol).
+  raw-io                Raw file-mutation primitives (fopen/open/creat/
+                        rename/unlink/remove/truncate) are only allowed
+                        in util/throttled_file.cc, checkpoint/
+                        ckpt_storage.cc and util/fault_injection.cc —
+                        every other durability path must go through the
+                        ThrottledFileWriter / CheckpointStorage layers,
+                        which own the fsync discipline and carry the
+                        crash-point probes.
+  crash-point-coverage  A function (outside util/throttled_file.cc) that
+                        calls fsync()/rename() directly is a durability-
+                        critical step and must contain a CALCDB_CRASH_
+                        POINT / CALCDB_FAULT_STATUS / CALCDB_FAULT_POINT
+                        probe, so the crash-torture matrix can kill the
+                        process there (tests/crash_torture_test.cc).
+  crash-point-orphaned  Every name registered in util/fault_injection.cc
+                        must be used by a probe somewhere under the lint
+                        root: an orphaned registry entry makes the
+                        DURABILITY.md survival table overclaim coverage.
+                        (lint_concurrency.py checks the reverse
+                        direction, probe -> registry.)
+
+A finding can be waived per line with a trailing comment carrying a
+mandatory justification:
+    // lint:allow(<rule-id>): <justification>
+
+Fixture mode: `--fixtures <dir>` lints every .cc/.h under <dir>, where
+each file declares the rules it must trigger in a leading comment
+    // expect-lint: rule-a rule-b        (or `none` for a clean file)
+and the run fails unless every file fires exactly its declared set.
+
+Usage:
+    lint_durability.py [--self-test] [--fixtures dir] [paths...]
+Paths default to the src/ directory next to this script's repo root.
+Exit status: 0 clean, 1 findings (or self-test/fixture failure).
+"""
+
+import os
+import re
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+from lint_concurrency import (  # noqa: E402
+    Finding,
+    call_args,
+    line_of,
+    load_fault_registry,
+    strip_comments_and_strings,
+)
+
+# Files allowed to touch raw file-mutation primitives. Everything else
+# goes through ThrottledFileWriter / CheckpointStorage.
+RAW_IO_ALLOWED = (
+    "util/throttled_file.cc",
+    "checkpoint/ckpt_storage.cc",
+    "util/fault_injection.cc",
+)
+
+RAW_IO_RE = re.compile(
+    r"(?<![\w:])(?:std::|::)?"
+    r"(fopen|fdopen|creat|rename|unlink|remove|truncate|ftruncate)\s*\("
+    r"|(?<![\w.])::open\s*\("
+)
+
+FSYNC_RE = re.compile(r"(?<![\w:])(?:::)?(fsync|fdatasync)\s*\(")
+# Barriers the ordering rule accepts before a rename: a raw fsync, or
+# the tree's sanctioned wrapper ThrottledFileWriter::Sync()/Close()
+# (both flush + fsync before returning OK).
+BARRIER_RE = re.compile(
+    r"(?<![\w:])(?:::)?(?:fsync|fdatasync)\s*\("
+    r"|(?:\.|->)(?:Sync|Close)\s*\(")
+RENAME_RE = re.compile(r"(?<![\w:])(?:std::|::)?rename\s*\(")
+PROBE_RE = re.compile(
+    r"\bCALCDB_(?:CRASH_POINT|FAULT_STATUS|FAULT_POINT)\s*\(")
+PROBE_NAME_RE = re.compile(
+    r'\bCALCDB_(?:CRASH_POINT|FAULT_STATUS|FAULT_POINT)\s*\(\s*"')
+
+SUPPRESS_MARKER = "calcdb-status-ignored"
+# Marker with a mandatory non-empty reason after the colon.
+SUPPRESS_OK_RE = re.compile(r"calcdb-status-ignored:\s*\S")
+
+ALLOW_RE = re.compile(r"lint:allow\((?P<rule>[\w-]+)\)(?P<colon>:\s*\S)?")
+
+# `Status <name>;` or `Status <name> = ...;` local declaration (skips
+# function declarations: the name must start lowercase, matching the
+# repo's variable style, and must not be followed by `(`).
+STATUS_DECL_RE = re.compile(
+    r"(?<![\w:])Status\s+([a-z_][A-Za-z0-9_]*)\s*(;|=[^=])")
+
+VOID_CAST_RE = re.compile(r"\(\s*void\s*\)\s*([A-Za-z_:][\w:\->.\s]*?)\s*\(|"
+                          r"\(\s*void\s*\)\s*([A-Za-z_]\w*)\s*;")
+
+# Matches a Status-returning function declaration in a header, to build
+# the set of function names whose results are Status.
+HEADER_STATUS_FN_RE = re.compile(
+    r"(?:\[\[nodiscard\]\]\s+)?(?:virtual\s+|static\s+)?"
+    r"(?<![\w:])Status\s+([A-Z]\w*)\s*\(")
+
+
+def waived(raw_lines, lineno, rule):
+    """True if a justified lint:allow(<rule>) appears on `lineno` or in
+    the contiguous comment/blank block immediately above it (so a waiver
+    may sit on any line of a multi-line justification comment)."""
+    def allow_on(idx):
+        if 0 <= idx - 1 < len(raw_lines):
+            m = ALLOW_RE.search(raw_lines[idx - 1])
+            return bool(m and m.group("rule") == rule and
+                        m.group("colon"))
+        return False
+
+    if allow_on(lineno):
+        return True
+    probe = lineno - 1
+    while probe >= 1:
+        ln = raw_lines[probe - 1].strip()
+        if not (ln.startswith("//") or ln.startswith("/*") or
+                ln.startswith("*") or ln == ""):
+            break
+        if allow_on(probe):
+            return True
+        probe -= 1
+    return False
+
+
+def stmt_start_line(code, pos):
+    """Line where the statement/declaration containing `pos` begins
+    (after the previous `;`, `{` or `}`): multi-line function signatures
+    anchor their waiver comments above the first line, not the brace."""
+    for i in range(pos - 1, -1, -1):
+        if code[i] in ";{}":
+            j = i + 1
+            while j < len(code) and code[j] in " \t\n":
+                j += 1
+            return line_of(code, j)
+    return 1
+
+
+def unjustified_waivers(path, raw_lines):
+    """lint:allow(<durability rule>) without a reason is itself a
+    finding (concurrency rules keep lint_concurrency's laxer syntax)."""
+    findings = []
+    for i, ln in enumerate(raw_lines):
+        m = ALLOW_RE.search(ln)
+        if m and m.group("rule") in DURABILITY_RULES and not m.group("colon"):
+            findings.append(Finding(
+                path, i + 1, "suppression-reason",
+                f"lint:allow({m.group('rule')}) without a justification: "
+                "write lint:allow(<rule>): <reason>"))
+    return findings
+
+
+FN_HEADER_TAIL_RE = re.compile(
+    r"\)\s*(?:const|noexcept|override|final|->\s*[\w:<>&*\s]+|"
+    r"CALCDB_\w+(?:\([^)]*\))?|\s)*$")
+NAMESPACE_TAIL_RE = re.compile(r"\bnamespace(\s+[\w:]+)?\s*$")
+
+
+def function_spans(code):
+    """(start_pos, end_pos) spans of function bodies: every `{...}`
+    block whose opening brace is preceded by a `)` (plus specifiers) and
+    that is not nested in another function. `namespace ... {` braces are
+    transparent — the whole tree lives inside `namespace calcdb`.
+    Heuristic, but the repo's style (clang-format, Google) makes it
+    reliable."""
+    spans = []
+    stack = []  # (open_pos, kind): kind in {"ns", "fn", "other"}
+    eff_depth = 0  # brace depth ignoring namespace braces
+    for i, c in enumerate(code):
+        if c == "{":
+            prefix = code[max(0, i - 160):i]
+            if NAMESPACE_TAIL_RE.search(prefix):
+                kind = "ns"
+            elif eff_depth == 0 and FN_HEADER_TAIL_RE.search(prefix):
+                kind = "fn"
+            else:
+                kind = "other"
+            stack.append((i, kind))
+            if kind != "ns":
+                eff_depth += 1
+        elif c == "}":
+            if stack:
+                start, kind = stack.pop()
+                if kind != "ns":
+                    eff_depth -= 1
+                if kind == "fn":
+                    spans.append((start, i + 1))
+    return spans
+
+
+def in_aggregate_scope(code, pos):
+    """True if the declaration at `pos` sits directly inside a
+    struct/class/union body (it is a member, not a local: reads go
+    through `obj.member`, which scope-local use counting cannot see)."""
+    depth = 0
+    for i in range(pos - 1, -1, -1):
+        c = code[i]
+        if c == "}":
+            depth += 1
+        elif c == "{":
+            if depth == 0:
+                head = code[max(0, i - 200):i]
+                return bool(re.search(
+                    r"\b(struct|class|union)\s+[\w:]*\s*"
+                    r"(?:final\s*)?(?::[^{;]*)?$", head))
+            depth -= 1
+    return False
+
+
+def enclosing_scope_end(code, pos):
+    """Position of the `}` closing the block containing `pos` (or EOF)."""
+    depth = 0
+    for i in range(pos, len(code)):
+        if code[i] == "{":
+            depth += 1
+        elif code[i] == "}":
+            if depth == 0:
+                return i
+            depth -= 1
+    return len(code)
+
+
+def collect_status_functions(root):
+    """Names of Status-returning functions declared in headers under
+    `root` (plus the tree's well-known Status factories excluded)."""
+    names = set()
+    for dirpath, _, filenames in os.walk(root):
+        for name in filenames:
+            if not name.endswith(".h"):
+                continue
+            try:
+                with open(os.path.join(dirpath, name),
+                          encoding="utf-8") as f:
+                    text = f.read()
+            except OSError:
+                continue
+            code, _ = strip_comments_and_strings(text)
+            for m in HEADER_STATUS_FN_RE.finditer(code):
+                names.add(m.group(1))
+    # Status factories produce a Status on purpose; casting one to void
+    # is nonsense nobody writes, and OK() appears in macro fallbacks.
+    names -= {"OK", "NotFound", "Corruption", "InvalidArgument", "IOError",
+              "NotSupported", "Busy", "Aborted"}
+    return names
+
+
+def has_suppression(raw_lines, lineno):
+    """calcdb-status-ignored with a reason on the line, or in the
+    comment block directly above (up to 5 lines, contiguous)."""
+    if lineno - 1 < len(raw_lines) and \
+            SUPPRESS_OK_RE.search(raw_lines[lineno - 1]):
+        return True
+    for probe in range(lineno - 1, max(0, lineno - 6), -1):
+        ln = raw_lines[probe - 1].strip()
+        if SUPPRESS_OK_RE.search(ln):
+            return True
+        if not (ln.startswith("//") or ln.startswith("/*") or
+                ln.startswith("*") or ln == ""):
+            break
+    return False
+
+
+def bare_suppressions(path, raw_lines):
+    findings = []
+    for i, ln in enumerate(raw_lines):
+        if SUPPRESS_MARKER in ln and not SUPPRESS_OK_RE.search(ln):
+            findings.append(Finding(
+                path, i + 1, "suppression-reason",
+                "calcdb-status-ignored without a reason: write "
+                "// calcdb-status-ignored: <why this drop is safe>"))
+    return findings
+
+
+def check_dropped_status(path, code, raw_lines, status_fns):
+    findings = []
+    # Locals declared as Status in this file: casting one to void drops
+    # whatever was stored in it.
+    status_locals = {m.group(1) for m in STATUS_DECL_RE.finditer(code)}
+    for m in VOID_CAST_RE.finditer(code):
+        lineno = line_of(code, m.start())
+        if m.group(1) is not None:
+            # (void)call(...): take the last identifier in the callee
+            # chain, e.g. `db->executor()->Execute` -> Execute.
+            callee = re.split(r"[^\w]+", m.group(1).strip())
+            callee = [c for c in callee if c]
+            name = callee[-1] if callee else ""
+            if name not in status_fns:
+                continue
+            what = f"call to Status-returning '{name}'"
+        else:
+            name = m.group(2)
+            if name not in status_locals:
+                continue
+            what = f"Status variable '{name}'"
+        if has_suppression(raw_lines, lineno):
+            continue
+        if waived(raw_lines, lineno, "dropped-status"):
+            continue
+        findings.append(Finding(
+            path, lineno, "dropped-status",
+            f"(void)-cast of {what} without a "
+            "// calcdb-status-ignored: <reason> comment — propagate it, "
+            "record it in background_status, or justify the drop"))
+    return findings
+
+
+def check_status_never_read(path, code, raw_lines):
+    findings = []
+    for m in STATUS_DECL_RE.finditer(code):
+        name = m.group(1)
+        if in_aggregate_scope(code, m.start()):
+            continue  # member: read as obj.member, outside this scope
+        lineno = line_of(code, m.start())
+        scope_end = enclosing_scope_end(code, m.end())
+        body = code[m.end():scope_end]
+        read = False
+        for use in re.finditer(r"\b%s\b" % re.escape(name), body):
+            after = body[use.end():]
+            # `name = ...` (but not `name ==`) is a write, not a read.
+            if re.match(r"\s*=(?!=)", after):
+                continue
+            read = True
+            break
+        if read:
+            continue
+        if waived(raw_lines, lineno, "status-never-read"):
+            continue
+        findings.append(Finding(
+            path, lineno, "status-never-read",
+            f"Status '{name}' is never read in its scope: every error "
+            "stored in it is silently dropped (consult it, return it, or "
+            "delete it)"))
+    return findings
+
+
+def check_fsync_before_rename(path, code, raw_lines):
+    findings = []
+    for start, end in function_spans(code):
+        body = code[start:end]
+        for m in RENAME_RE.finditer(body):
+            lineno = line_of(code, start + m.start())
+            if waived(raw_lines, lineno, "fsync-before-rename"):
+                continue
+            if BARRIER_RE.search(body, 0, m.start()):
+                continue
+            findings.append(Finding(
+                path, lineno, "fsync-before-rename",
+                "rename() with no fsync() earlier in the same function: "
+                "the new name can survive a power cut while the contents "
+                "do not (fsync the tmp file first; see "
+                "CheckpointStorage::PersistManifest)"))
+    return findings
+
+
+def check_raw_io(path, code, raw_lines, root):
+    norm = path.replace(os.sep, "/")
+    if norm.endswith(RAW_IO_ALLOWED):
+        return []
+    findings = []
+    for m in RAW_IO_RE.finditer(code):
+        lineno = line_of(code, m.start())
+        if waived(raw_lines, lineno, "raw-io"):
+            continue
+        op = m.group(1) or "open"
+        findings.append(Finding(
+            path, lineno, "raw-io",
+            f"raw {op}() outside the sanctioned IO layers "
+            f"({', '.join(RAW_IO_ALLOWED)}): route durability IO through "
+            "ThrottledFileWriter / CheckpointStorage (which own the "
+            "fsync discipline and crash-point probes), or waive with "
+            "lint:allow(raw-io): <reason> for non-durability diagnostics"))
+    return findings
+
+
+def check_crash_point_coverage(path, code, raw_lines):
+    norm = path.replace(os.sep, "/")
+    if norm.endswith("util/throttled_file.cc"):
+        # The generic buffered-writer primitive: its durability-critical
+        # *callers* carry the probes (ckpt_file footer/fsync, streamer
+        # batch fsync, ...), where the protocol context lives.
+        return []
+    if not path.endswith(".cc"):
+        return []
+    findings = []
+    for start, end in function_spans(code):
+        body = code[start:end]
+        if not (FSYNC_RE.search(body) or RENAME_RE.search(body)):
+            continue
+        if PROBE_RE.search(body):
+            continue
+        lineno = line_of(code, start)
+        anchor = stmt_start_line(code, start)
+        if waived(raw_lines, lineno, "crash-point-coverage") or \
+                waived(raw_lines, anchor, "crash-point-coverage"):
+            continue
+        findings.append(Finding(
+            path, lineno, "crash-point-coverage",
+            "function fsyncs/renames but contains no CALCDB_CRASH_POINT/"
+            "CALCDB_FAULT_STATUS/CALCDB_FAULT_POINT probe: the crash-"
+            "torture matrix cannot kill the process at this durability "
+            "step (register a point in util/fault_injection.cc and "
+            "document it in docs/DURABILITY.md)"))
+    return findings
+
+
+def used_probe_names(paths_code):
+    """Probe names used across the linted files ((path, code, raw) list).
+    Names are read from the raw text at the match position, since string
+    contents are blanked in `code` (same trick as lint_concurrency)."""
+    used = set()
+    for _, code, raw_lines in paths_code:
+        raw = "\n".join(raw_lines)
+        for m in PROBE_NAME_RE.finditer(code):
+            quote = m.end() - 1
+            close = raw.find('"', quote + 1)
+            if close != -1:
+                used.add(raw[quote + 1:close])
+    return used
+
+
+def check_crash_point_orphans(root, paths_code):
+    registry = load_fault_registry(root)
+    if registry is None:
+        return []  # partial tree (e.g. fixture dir): nothing to diff
+    used = used_probe_names(paths_code)
+    findings = []
+    reg_path = os.path.join(root, "util", "fault_injection.cc")
+    for name in sorted(registry - used):
+        findings.append(Finding(
+            reg_path, 1, "crash-point-orphaned",
+            f'registered crash point "{name}" is used by no probe under '
+            "the lint root: remove the registry entry (and its "
+            "DURABILITY.md survival-table row) or restore the probe"))
+    return findings
+
+
+DURABILITY_RULES = {
+    "dropped-status",
+    "suppression-reason",
+    "status-never-read",
+    "fsync-before-rename",
+    "raw-io",
+    "crash-point-coverage",
+    "crash-point-orphaned",
+}
+
+
+def lint_file(path, root, status_fns):
+    with open(path, encoding="utf-8") as f:
+        text = f.read()
+    code, raw_lines = strip_comments_and_strings(text)
+    findings = []
+    findings += bare_suppressions(path, raw_lines)
+    findings += unjustified_waivers(path, raw_lines)
+    findings += check_dropped_status(path, code, raw_lines, status_fns)
+    findings += check_status_never_read(path, code, raw_lines)
+    findings += check_fsync_before_rename(path, code, raw_lines)
+    # raw-io and crash-point-coverage police the *product* durability
+    # paths; tests and benchmarks corrupt/truncate/inspect files on
+    # purpose (crash-artifact simulation) and are exempt.
+    in_product = os.path.abspath(path).startswith(
+        os.path.abspath(root) + os.sep)
+    if in_product:
+        findings += check_raw_io(path, code, raw_lines, root)
+        findings += check_crash_point_coverage(path, code, raw_lines)
+    return findings, (path, code, raw_lines)
+
+
+def iter_tree(root):
+    for dirpath, dirnames, filenames in os.walk(root):
+        # Fixture snippets are known-bad on purpose; they are linted
+        # only via --fixtures.
+        dirnames[:] = [d for d in dirnames if d != "lint_fixtures"]
+        for name in sorted(filenames):
+            if name.endswith((".h", ".cc")):
+                yield os.path.join(dirpath, name)
+
+
+def source_root(paths):
+    """The nearest 'src' ancestor of the first path (for the fault
+    registry), falling back to the first directory."""
+    for p in paths:
+        probe = os.path.abspath(p if os.path.isdir(p) else
+                                os.path.dirname(p))
+        parts = probe.split(os.sep)
+        if "src" in parts:
+            cut = len(parts) - 1 - parts[::-1].index("src")
+            return os.sep.join(parts[:cut + 1])
+    return os.path.abspath(paths[0]) if paths else os.getcwd()
+
+
+def run_lint(paths):
+    root = source_root(paths)
+    status_fns = collect_status_functions(root)
+    findings = []
+    linted = []
+    for p in paths:
+        files = iter_tree(p) if os.path.isdir(p) else [p]
+        for path in files:
+            f, pc = lint_file(path, root, status_fns)
+            findings.extend(f)
+            linted.append(pc)
+    findings.extend(check_crash_point_orphans(root, linted))
+    return findings
+
+
+EXPECT_RE = re.compile(r"expect-lint:\s*([\w\- ]+)")
+
+
+def run_fixtures(fixture_dir):
+    """Every fixture file must fire exactly its declared rule set."""
+    failures = []
+    checked = 0
+    status_fns = collect_status_functions(
+        os.path.join(os.path.dirname(fixture_dir), "..", "src"))
+    # Also accept Status functions declared inside the fixture dir.
+    status_fns |= collect_status_functions(fixture_dir)
+    for path in sorted(iter_tree_with_fixtures(fixture_dir)):
+        with open(path, encoding="utf-8") as f:
+            head = f.read(4096)
+        m = EXPECT_RE.search(head)
+        if not m:
+            failures.append(f"{path}: missing '// expect-lint:' header")
+            continue
+        expected = set(m.group(1).split()) - {"none"}
+        unknown = expected - DURABILITY_RULES
+        if unknown:
+            failures.append(f"{path}: unknown rule(s) {sorted(unknown)}")
+            continue
+        findings, pc = lint_file(path, fixture_dir, status_fns)
+        findings.extend(check_crash_point_orphans(fixture_dir, [pc]))
+        fired = {f.rule for f in findings}
+        if fired != expected:
+            failures.append(
+                f"{path}: expected {sorted(expected) or ['none']}, "
+                f"fired {sorted(fired) or ['none']}:\n    " +
+                "\n    ".join(str(f) for f in findings))
+        checked += 1
+    if failures:
+        print("lint_durability fixtures FAILED:")
+        for f in failures:
+            print("  " + f)
+        return 1
+    print(f"lint_durability fixtures: {checked} file(s) behaved as "
+          "declared")
+    return 0
+
+
+def iter_tree_with_fixtures(root):
+    for dirpath, _, filenames in os.walk(root):
+        for name in sorted(filenames):
+            if name.endswith((".h", ".cc")):
+                yield os.path.join(dirpath, name)
+
+
+# --------------------------------------------------------------------------
+# Self-test: every rule fires on a seeded violation and stays quiet on the
+# compliant twin.
+# --------------------------------------------------------------------------
+
+SELF_TEST_HEADER = (
+    "class Foo {\n"
+    " public:\n"
+    "  Status Sync();\n"
+    "  Status Close();\n"
+    "};\n"
+)
+
+SELF_TEST_CASES = [
+    # (rule, should_fire, filename, snippet)
+    ("dropped-status", True, "a.cc",
+     "void F(Foo* f) { (void)f->Close(); }\n"),
+    ("dropped-status", True, "a.cc",
+     "void F() { Status st = G(); (void)st; }\n"),
+    ("dropped-status", False, "a.cc",
+     "void F(Foo* f) {\n"
+     "  // calcdb-status-ignored: destructor context, no error channel\n"
+     "  (void)f->Close();\n"
+     "}\n"),
+    ("dropped-status", False, "a.cc",
+     "void F(int rc) { (void)rc; }\n"),
+    ("suppression-reason", True, "b.cc",
+     "void F(Foo* f) {\n"
+     "  // calcdb-status-ignored\n"
+     "  (void)f->Close();\n"
+     "}\n"),
+    ("suppression-reason", False, "b.cc",
+     "void F(Foo* f) {\n"
+     "  // calcdb-status-ignored: reason given here\n"
+     "  (void)f->Close();\n"
+     "}\n"),
+    ("status-never-read", True, "c.cc",
+     "void F() { Status st; st = G(); }\n"),
+    ("status-never-read", False, "c.cc",
+     "Status F() { Status st; st = G(); return st; }\n"),
+    ("status-never-read", False, "c.cc",
+     "void F() { Status st = G(); if (!st.ok()) Abort(); }\n"),
+    ("status-never-read", False, "c.cc",
+     "void F() { Status st; Fill(&st); }\n"),
+    ("fsync-before-rename", True, "d.cc",
+     "bool F(const char* a, const char* b) {\n"
+     "  return ::rename(a, b) == 0;\n"
+     "}\n"),
+    ("fsync-before-rename", False, "d.cc",
+     "bool F(int fd, const char* a, const char* b) {\n"
+     "  if (::fsync(fd) != 0) return false;\n"
+     "  return std::rename(a, b) == 0;\n"
+     "}\n"),
+    ("fsync-before-rename", False, "d.cc",
+     "bool F(Writer* w, const char* a, const char* b) {\n"
+     "  if (!w->Sync().ok()) return false;\n"
+     "  return std::rename(a, b) == 0;\n"
+     "}\n"),
+    ("raw-io", True, "e.cc",
+     'void F() { std::FILE* f = std::fopen("x", "w"); (void)f; }\n'),
+    ("raw-io", False, "util/throttled_file.cc",
+     'void F() { std::FILE* f = std::fopen("x", "w"); (void)f; }\n'),
+    ("raw-io", False, "e.cc",
+     "void F() {\n"
+     '  // lint:allow(raw-io): diagnostics sink, not durability-bearing\n'
+     '  std::FILE* f = std::fopen("x", "w");\n'
+     "  (void)f;\n"
+     "}\n"),
+    ("suppression-reason", True, "e.cc",
+     "void F() {\n"
+     "  // lint:allow(raw-io)\n"
+     '  std::FILE* f = std::fopen("x", "w");\n'
+     "  (void)f;\n"
+     "}\n"),
+    ("crash-point-coverage", True, "f.cc",
+     "bool F(int fd) { return ::fsync(fd) == 0; }\n"),
+    ("crash-point-coverage", False, "f.cc",
+     "bool F(int fd) {\n"
+     '  CALCDB_CRASH_POINT("test.registered");\n'
+     "  return ::fsync(fd) == 0;\n"
+     "}\n"),
+    ("crash-point-coverage", False, "g.cc",
+     "bool F() { return true; }\n"),
+    # Regression: the whole tree lives inside `namespace calcdb { ... }`;
+    # function-body detection must see through namespace braces.
+    ("crash-point-coverage", True, "h.cc",
+     "namespace calcdb {\n"
+     "bool F(int fd) { return ::fsync(fd) == 0; }\n"
+     "}  // namespace calcdb\n"),
+    ("fsync-before-rename", True, "h.cc",
+     "namespace calcdb {\n"
+     "namespace {\n"
+     "bool F(const char* a, const char* b) {\n"
+     "  return std::rename(a, b) == 0;\n"
+     "}\n"
+     "}  // namespace\n"
+     "}  // namespace calcdb\n"),
+    # Regression: a Status member of a (function-local) aggregate is read
+    # as obj.status outside the struct's scope — not a dead local.
+    ("status-never-read", False, "i.cc",
+     "void F() {\n"
+     "  struct Seg {\n"
+     "    Status status;\n"
+     "  };\n"
+     "  Seg s;\n"
+     "  s.status = G();\n"
+     "  if (!s.status.ok()) Abort();\n"
+     "}\n"),
+    ("status-never-read", True, "i.cc",
+     "namespace calcdb {\n"
+     "void F() { Status st = G(); }\n"
+     "}  // namespace calcdb\n"),
+]
+
+SELF_TEST_REGISTRY = (
+    "constexpr FaultPointInfo kRegistry[] = {\n"
+    '    {"test.registered", "self-test stub"},\n'
+    "};\n"
+)
+
+
+def self_test():
+    import tempfile
+
+    failures = []
+    for idx, (rule, should_fire, filename, snippet) in enumerate(
+            SELF_TEST_CASES):
+        with tempfile.TemporaryDirectory() as tmp:
+            hdr = os.path.join(tmp, "foo.h")
+            with open(hdr, "w", encoding="utf-8") as f:
+                f.write(SELF_TEST_HEADER)
+            reg = os.path.join(tmp, "util", "fault_injection.cc")
+            os.makedirs(os.path.dirname(reg), exist_ok=True)
+            with open(reg, "w", encoding="utf-8") as f:
+                f.write(SELF_TEST_REGISTRY +
+                        'void R() { CALCDB_CRASH_POINT('
+                        '"test.registered"); }\n')
+            path = os.path.join(tmp, filename)
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            with open(path, "w", encoding="utf-8") as f:
+                f.write(snippet)
+            status_fns = collect_status_functions(tmp) | {"G"}
+            findings, _ = lint_file(path, tmp, status_fns)
+            fired = {f.rule for f in findings}
+        if should_fire and rule not in fired:
+            failures.append(
+                f"case {idx}: expected [{rule}] to fire on:\n{snippet}")
+        if not should_fire and rule in fired:
+            failures.append(
+                f"case {idx}: [{rule}] fired unexpectedly on:\n{snippet}")
+    if failures:
+        print("lint_durability self-test FAILED:")
+        for f in failures:
+            print("  " + f.replace("\n", "\n  "))
+        return 1
+    print(f"lint_durability self-test: {len(SELF_TEST_CASES)} cases ok")
+    return 0
+
+
+def main(argv):
+    if "--self-test" in argv:
+        return self_test()
+    if "--fixtures" in argv:
+        i = argv.index("--fixtures")
+        if i + 1 >= len(argv):
+            print("lint_durability: --fixtures needs a directory",
+                  file=sys.stderr)
+            return 2
+        return run_fixtures(os.path.abspath(argv[i + 1]))
+    paths = [a for a in argv if not a.startswith("-")]
+    if not paths:
+        repo_root = os.path.dirname(os.path.dirname(
+            os.path.abspath(__file__)))
+        paths = [os.path.join(repo_root, "src")]
+    for p in paths:
+        if not os.path.exists(p):
+            print(f"lint_durability: no such file or directory: {p}",
+                  file=sys.stderr)
+            return 2
+    findings = run_lint(paths)
+    for f in findings:
+        print(f)
+    if findings:
+        print(f"lint_durability: {len(findings)} finding(s)")
+        return 1
+    print("lint_durability: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
