@@ -326,6 +326,20 @@ inline void ExportObsArtifacts(const Flags& flags,
                    trace_path.c_str());
     }
   }
+#if CALCDB_OBS_ENABLED
+  // Event dump: the in-memory ring, newest-first window of the run's
+  // structured events (tools/validate_events.py checks the format in
+  // CI). Off by default — a clean run usually has nothing to say.
+  std::string events_path = flags.Str("events_out", "");
+  if (events_path != "none" && !events_path.empty()) {
+    if (obs::EventLog::Global().ExportJsonl(events_path)) {
+      std::printf("events jsonl: %s\n", events_path.c_str());
+    } else {
+      std::fprintf(stderr, "failed to write events jsonl: %s\n",
+                   events_path.c_str());
+    }
+  }
+#endif
 }
 
 /// Reads the standard scale flags shared by the figure benches.

@@ -12,6 +12,7 @@
 #include <sys/types.h>
 #include <unistd.h>
 
+#include "obs/obs.h"
 #include "util/fault_injection.h"
 
 namespace calcdb {
@@ -111,7 +112,15 @@ Status CheckpointStorage::ReplaceCollapsed(
     checkpoints_ = std::move(kept);
   }
   for (const std::string& path : to_delete) {
-    std::remove(path.c_str());
+    if (std::remove(path.c_str()) != 0) {
+      // A failed delete only leaks a retired file — the manifest, not
+      // the directory, defines the chain — so the merge still succeeds;
+      // but the leak must be visible, not silent (ROADMAP item closed
+      // by calcdb.ckpt.gc_unlink_failed + this WARN).
+      CALCDB_COUNTER_ADD("calcdb.ckpt.gc_unlink_failed", 1);
+      CALCDB_WARN("ckpt.gc_unlink_failed", "ckpt", path,
+                  {"errno", static_cast<int64_t>(errno)});
+    }
   }
   return Status::OK();
 }

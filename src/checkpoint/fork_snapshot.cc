@@ -2,6 +2,7 @@
 
 #include <cerrno>
 #include <cstring>
+#include <string>
 
 #include <fcntl.h>
 #include <sys/wait.h>
@@ -11,6 +12,7 @@
 #include "obs/obs.h"
 #include "util/clock.h"
 #include "util/crc32.h"
+#include "util/fault_injection.h"
 
 namespace calcdb {
 
@@ -96,10 +98,6 @@ void ForkSnapshotCheckpointer::ApplyWrite(Txn& txn, Record& rec,
   rec.live = new_val;
 }
 
-// lint:allow(crash-point-coverage): runs in the forked child, where a
-// crash-mode probe would only kill the child, not the process under
-// test; the child's fault channel is its exit code, which the parent
-// converts to Status (ROADMAP open item: child-side fault coverage).
 int ForkSnapshotCheckpointer::ChildWriteSnapshot(int fd, uint32_t slots,
                                                  uint64_t id,
                                                  uint64_t poc_lsn) {
@@ -138,6 +136,12 @@ int ForkSnapshotCheckpointer::ChildWriteSnapshot(int fd, uint32_t slots,
   if (!out.Append(&count, sizeof(count))) return 2;
   if (!out.Append(&crc, sizeof(crc))) return 2;
   if (!out.Flush()) return 2;
+  // Child-side fault channel: CALCDB_CRASH_POINT cannot run here (the
+  // arming latch may be held by a parent thread that no longer exists
+  // after fork), so the child's only probe is this env-driven one. Placed
+  // before the fsync: a forced exit here models the child dying with the
+  // snapshot bytes written but not yet durable.
+  CALCDB_CHILD_CRASH_POINT();
   if (::fsync(fd) != 0) return 3;
   ::close(fd);
   return 0;
@@ -196,7 +200,19 @@ Status ForkSnapshotCheckpointer::RunCheckpointCycle() {
     SleepMicros(2000);
   }
   if (!WIFEXITED(wstatus) || WEXITSTATUS(wstatus) != 0) {
-    return Status::IOError("snapshot child failed");
+    // Exit codes: 2 = write failure, 3 = fsync failure, anything else is
+    // a signal or an injected CALCDB_CHILD_EXIT_CODE death; fold the code
+    // into the Status so the caller (and the torture harness) can tell
+    // which path the child died on.
+    std::string msg = "snapshot child failed";
+    if (WIFEXITED(wstatus)) {
+      msg += " (exit code " + std::to_string(WEXITSTATUS(wstatus)) + ")";
+    } else if (WIFSIGNALED(wstatus)) {
+      msg += " (signal " + std::to_string(WTERMSIG(wstatus)) + ")";
+    }
+    CALCDB_WARN("ckpt.child_failed", "ckpt", msg,
+                {"checkpoint_id", static_cast<int64_t>(id)});
+    return Status::IOError(msg);
   }
   stats.capture_micros = capture_sw.ElapsedMicros();
 

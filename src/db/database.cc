@@ -137,6 +137,12 @@ Status Database::Shutdown() {
   if (streamer_ != nullptr) {
     st = streamer_->Stop();
     streamer_.reset();
+#if CALCDB_OBS_ENABLED
+    // The durability-lag gauge captured `this`; freeze it so later
+    // snapshots cannot touch a destroyed Database.
+    obs::MetricsRegistry::Global().RegisterCallbackGauge(
+        "calcdb.log.durability_lag", []() -> int64_t { return 0; });
+#endif  // CALCDB_OBS_ENABLED
   }
   if (merger_ != nullptr) {
     merger_->StopBackground();
@@ -169,6 +175,18 @@ Status Database::Open(const Options& options,
     return static_cast<int64_t>(
         obs::g_phase_restarts.load(std::memory_order_relaxed));
   });
+  registry.RegisterCallbackGauge("calcdb.events.emitted", [] {
+    return static_cast<int64_t>(obs::EventLog::Global().emitted());
+  });
+  registry.RegisterCallbackGauge("calcdb.events.suppressed", [] {
+    return static_cast<int64_t>(obs::EventLog::Global().suppressed());
+  });
+  registry.RegisterCallbackGauge("calcdb.events.dropped", [] {
+    return static_cast<int64_t>(obs::EventLog::Global().dropped());
+  });
+  if (!options.events_path.empty()) {
+    obs::EventLog::Global().SetSinkPath(options.events_path);
+  }
 #endif  // CALCDB_OBS_ENABLED
   *db = std::move(out);
   return Status::OK();
@@ -339,6 +357,21 @@ Status Database::Start() {
     streamer_ = std::make_unique<CommandLogStreamer>(&log_);
     CALCDB_RETURN_NOT_OK(streamer_->Start(options_.command_log_path,
                                           options_.command_log_flush_ms));
+#if CALCDB_OBS_ENABLED
+    // Log-durability lag: committed entries whose flush batch has not
+    // been fsynced yet. Shutdown() re-registers this with a constant so
+    // a snapshot taken after this Database dies touches nothing freed.
+    obs::MetricsRegistry::Global().RegisterCallbackGauge(
+        "calcdb.log.durability_lag", [this]() -> int64_t {
+          CommandLogStreamer* s = streamer_.get();
+          if (s == nullptr) return 0;
+          uint64_t committed = log_.Size();
+          uint64_t persisted = s->persisted_lsn();
+          return committed > persisted
+                     ? static_cast<int64_t>(committed - persisted)
+                     : 0;
+        });
+#endif  // CALCDB_OBS_ENABLED
   }
   CALCDB_RETURN_NOT_OK(MakeCheckpointer());
   EngineContext engine;
@@ -355,13 +388,40 @@ Status Database::Start() {
     merger_ = std::make_unique<CheckpointMerger>(&ckpt_storage_);
     merger_->StartBackground(options_.merge_batch);
   }
+  ConfigureHealthMonitor();
   if (options_.stats_dump_period_ms > 0) {
     stats_reporter_ = std::make_unique<obs::StatsReporter>(
         options_.stats_dump_period_ms, options_.stats_dump_path);
+    stats_reporter_->SetHealthSupplier(
+        [this] { return GetHealth().ToJson(); });
     stats_reporter_->Start();
   }
   started_ = true;
   return Status::OK();
+}
+
+void Database::ConfigureHealthMonitor() {
+  obs::HealthMonitor::Sources sources;
+  sources.background_status = [this] { return BackgroundStatus(); };
+  sources.checkpoint_cycles = [this] {
+    return periodic_done_.load(std::memory_order_relaxed);
+  };
+  sources.checkpoint_interval_us =
+      periodic_interval_us_.load(std::memory_order_relaxed);
+  sources.stall_multiplier = options_.health_stall_multiplier;
+  if (streamer_ != nullptr) {
+    sources.committed_lsn = [this] {
+      return static_cast<int64_t>(log_.Size());
+    };
+    sources.persisted_lsn = [this]() -> int64_t {
+      // Shutdown() resets the streamer after stopping the reporter;
+      // a late GetHealth() then reads a fully-drained (lag 0) log.
+      CommandLogStreamer* s = streamer_.get();
+      return s != nullptr ? static_cast<int64_t>(s->persisted_lsn())
+                          : static_cast<int64_t>(log_.Size());
+    };
+  }
+  health_monitor_.Configure(std::move(sources));
 }
 
 Status Database::Checkpoint() {
@@ -377,6 +437,11 @@ Status Database::StartPeriodicCheckpoints(int interval_ms) {
   if (periodic_running_.exchange(true, std::memory_order_acq_rel)) {
     return Status::InvalidArgument("periodic checkpoints already running");
   }
+  // Arm the stall watchdog: GetHealth() flags a stall once no cycle
+  // completes within health_stall_multiplier × this interval.
+  periodic_interval_us_.store(static_cast<int64_t>(interval_ms) * 1000,
+                              std::memory_order_relaxed);
+  ConfigureHealthMonitor();
   periodic_thread_ = std::thread([this, interval_ms] {
     int64_t next = NowMicros();
     while (periodic_running_.load(std::memory_order_acquire)) {
@@ -400,8 +465,17 @@ Status Database::StartPeriodicCheckpoints(int interval_ms) {
 }
 
 void Database::SetBackgroundStatus(const Status& st) {
-  SpinLatchGuard guard(background_status_latch_);
-  if (background_status_.ok()) background_status_ = st;
+  bool first = false;
+  {
+    SpinLatchGuard guard(background_status_latch_);
+    if (background_status_.ok()) {
+      background_status_ = st;
+      first = true;
+    }
+  }
+  if (first) {
+    CALCDB_ERROR("db.background_error", "db", st.ToString());
+  }
 }
 
 Status Database::BackgroundStatus() const {
@@ -418,6 +492,10 @@ void Database::StopPeriodicCheckpoints() {
     return;
   }
   if (periodic_thread_.joinable()) periodic_thread_.join();
+  // Disarm the stall watchdog: with no loop running, a quiet engine is
+  // not a stalled one.
+  periodic_interval_us_.store(0, std::memory_order_relaxed);
+  ConfigureHealthMonitor();
 }
 
 std::string Database::GetStatsString() const {

@@ -14,6 +14,7 @@
 #include "db/options.h"
 #include "log/command_log_streamer.h"
 #include "log/commit_log.h"
+#include "obs/health.h"
 #include "obs/stats_reporter.h"
 #include "recovery/recovery_manager.h"
 #include "storage/kv_store.h"
@@ -105,6 +106,14 @@ class Database {
   /// IO failure into a silent loss of durability.
   [[nodiscard]] Status BackgroundStatus() const;
 
+  /// Point-in-time health report (obs/health.h): folds BackgroundStatus,
+  /// the checkpoint-stall watchdog (periodic cycles must advance within
+  /// Options::health_stall_multiplier × the configured interval),
+  /// log-durability lag, and obs ring-drop accounting. StatsReporter
+  /// embeds the same report in its periodic JSONL. Valid between
+  /// Start() and Shutdown(); before Start() it reports healthy.
+  obs::HealthReport GetHealth() { return health_monitor_.Check(); }
+
   /// Transactionally-consistent point read through the checkpointer's
   /// read hook (non-transactional convenience for tools/tests).
   [[nodiscard]] Status Read(uint64_t key, std::string* value);
@@ -141,6 +150,7 @@ class Database {
 
   [[nodiscard]] Status MakeCheckpointer();
   void SetBackgroundStatus(const Status& st);
+  void ConfigureHealthMonitor();
 
   Options options_;
   std::unique_ptr<ValuePool> pool_;
@@ -161,7 +171,9 @@ class Database {
 
   std::atomic<bool> periodic_running_{false};
   std::atomic<uint64_t> periodic_done_{0};
+  std::atomic<int64_t> periodic_interval_us_{0};
   std::thread periodic_thread_;
+  obs::HealthMonitor health_monitor_;
 
   mutable SpinLatch background_status_latch_;
   Status background_status_ CALCDB_GUARDED_BY(background_status_latch_);

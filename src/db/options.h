@@ -96,6 +96,19 @@ struct Options {
   /// text to stderr). 0 disables the reporter.
   int64_t stats_dump_period_ms = 0;
   std::string stats_dump_path;
+
+  /// Structured-event JSONL sink (obs/event_log.h): every admitted
+  /// event (WARN on leaked files, torn-checkpoint rejection, background
+  /// failures, ...) is appended as one JSON line to this file. Empty
+  /// keeps events in the in-memory ring only; benches export the ring
+  /// at exit via --events_out.
+  std::string events_path;
+
+  /// Checkpoint-stall watchdog (obs/health.h): with periodic
+  /// checkpoints running, Database::GetHealth() reports a stall when no
+  /// cycle has completed within `health_stall_multiplier` × the
+  /// configured interval.
+  double health_stall_multiplier = 3.0;
 };
 
 }  // namespace calcdb

@@ -123,8 +123,20 @@ Status CommandLogStreamer::background_status() const {
 }
 
 void CommandLogStreamer::SetBackgroundStatus(const Status& st) {
-  SpinLatchGuard guard(status_latch_);
-  if (background_status_.ok()) background_status_ = st;
+  bool first = false;
+  {
+    SpinLatchGuard guard(status_latch_);
+    if (background_status_.ok()) {
+      background_status_ = st;
+      first = true;
+    }
+  }
+  if (first) {
+    // First-error-wins slot just transitioned OK -> failed: from here
+    // every flush is dead and new commits stop becoming durable. The
+    // event fires once, on the transition, not per retry.
+    CALCDB_ERROR("log.background_error", "log", st.ToString());
+  }
 }
 
 Status CommandLogStreamer::Start(const std::string& path,

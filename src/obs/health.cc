@@ -1,0 +1,115 @@
+#include "obs/health.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <utility>
+
+#include "obs/event_log.h"
+#include "obs/metrics.h"
+#include "obs/obs.h"
+#include "obs/trace.h"
+#include "util/clock.h"
+
+namespace calcdb {
+namespace obs {
+
+std::string HealthReport::ToJson() const {
+  char buf[128];
+  std::string out = "{\"healthy\":";
+  out += healthy ? "true" : "false";
+  out += ",\"background_ok\":";
+  out += background_ok ? "true" : "false";
+  out += ",\"background_error\":\"";
+  out += JsonEscape(background_error);
+  out += "\",\"checkpoint_stalled\":";
+  out += checkpoint_stalled ? "true" : "false";
+  std::snprintf(buf, sizeof(buf),
+                ",\"checkpoint_cycles\":%" PRIu64
+                ",\"since_last_cycle_us\":%" PRId64 ",\"log_lag\":%" PRId64,
+                checkpoint_cycles, since_last_cycle_us, log_lag);
+  out += buf;
+  std::snprintf(buf, sizeof(buf),
+                ",\"trace_dropped\":%" PRIu64 ",\"events_dropped\":%" PRIu64
+                ",\"events_suppressed\":%" PRIu64 "}",
+                trace_dropped, events_dropped, events_suppressed);
+  out += buf;
+  return out;
+}
+
+void HealthMonitor::Configure(Sources sources) {
+  SpinLatchGuard guard(latch_);
+  sources_ = std::move(sources);
+  last_cycles_ =
+      sources_.checkpoint_cycles ? sources_.checkpoint_cycles() : 0;
+  last_progress_us_ = NowMicros();
+  stall_reported_ = false;
+  background_reported_ = false;
+}
+
+HealthReport HealthMonitor::Check() {
+  Sources sources;
+  {
+    SpinLatchGuard guard(latch_);
+    sources = sources_;
+  }
+  HealthReport report;
+
+  // Background failures (first-error-wins slots in Database/streamer).
+  if (sources.background_status) {
+    Status st = sources.background_status();
+    if (!st.ok()) {
+      report.background_ok = false;
+      report.background_error = st.ToString();
+    }
+  }
+
+  // Checkpoint-stall watchdog: periodic cycles must advance within
+  // stall_multiplier × interval.
+  int64_t now_us = NowMicros();
+  if (sources.checkpoint_cycles && sources.checkpoint_interval_us > 0) {
+    report.checkpoint_cycles = sources.checkpoint_cycles();
+    int64_t budget_us = static_cast<int64_t>(
+        sources.stall_multiplier *
+        static_cast<double>(sources.checkpoint_interval_us));
+    SpinLatchGuard guard(latch_);
+    if (report.checkpoint_cycles != last_cycles_) {
+      last_cycles_ = report.checkpoint_cycles;
+      last_progress_us_ = now_us;
+      stall_reported_ = false;
+    }
+    report.since_last_cycle_us = now_us - last_progress_us_;
+    report.checkpoint_stalled = report.since_last_cycle_us > budget_us;
+    if (report.checkpoint_stalled && !stall_reported_) {
+      stall_reported_ = true;
+      CALCDB_WARN("health.checkpoint_stall", "health", "",
+                  {"since_last_cycle_us", report.since_last_cycle_us},
+                  {"budget_us", budget_us});
+    }
+  }
+
+  // Log-durability lag: committed entries not yet fsynced.
+  if (sources.committed_lsn && sources.persisted_lsn) {
+    report.log_lag = sources.committed_lsn() - sources.persisted_lsn();
+    if (report.log_lag < 0) report.log_lag = 0;
+  }
+
+  // Obs self-accounting: what the rings silently lost.
+  report.trace_dropped = Tracer::Global().buffer().dropped();
+  EventLog& events = EventLog::Global();
+  report.events_dropped = events.dropped();
+  report.events_suppressed = events.suppressed();
+
+  report.healthy = report.background_ok && !report.checkpoint_stalled;
+  if (!report.background_ok) {
+    SpinLatchGuard guard(latch_);
+    if (!background_reported_) {
+      background_reported_ = true;
+      CALCDB_ERROR("health.background_failure", "health",
+                   report.background_error);
+    }
+  }
+  return report;
+}
+
+}  // namespace obs
+}  // namespace calcdb

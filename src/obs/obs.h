@@ -12,6 +12,7 @@
 // stable pointers for the life of the process) and then performs a
 // single relaxed atomic add.
 
+#include "obs/event_log.h"
 #include "obs/metrics.h"
 #include "obs/probes.h"
 #include "obs/trace.h"
@@ -65,6 +66,34 @@
   ::calcdb::obs::Tracer::Global().EmitComplete(name, cat, start_us, \
                                                dur_us, arg)
 
+// Structured events (obs/event_log.h). `name`/`cat` must be string
+// literals; `detail` may be any string expression (copied, truncated);
+// the trailing varargs are {"key", value} payload pairs with literal
+// keys. Each call site carries its own token bucket (function-local
+// static EventSite), so a chatty site rate-limits itself and folds the
+// suppressed count into its next admitted event.
+#define CALCDB_EVENT_AT(severity, name, cat, detail, ...)   \
+  do {                                                      \
+    static ::calcdb::obs::EventSite obs_event_site_(        \
+        ::calcdb::obs::EventLog::kDefaultBurst,             \
+        ::calcdb::obs::EventLog::kDefaultRefillPerSec);     \
+    ::calcdb::obs::EventLog::Global().Emit(                 \
+        severity, name, cat, &obs_event_site_, detail,      \
+        {__VA_ARGS__});                                     \
+  } while (0)
+
+#define CALCDB_EVENT(name, cat, detail, ...)                     \
+  CALCDB_EVENT_AT(::calcdb::obs::Severity::kInfo, name, cat,     \
+                  detail __VA_OPT__(, ) __VA_ARGS__)
+
+#define CALCDB_WARN(name, cat, detail, ...)                      \
+  CALCDB_EVENT_AT(::calcdb::obs::Severity::kWarn, name, cat,     \
+                  detail __VA_OPT__(, ) __VA_ARGS__)
+
+#define CALCDB_ERROR(name, cat, detail, ...)                     \
+  CALCDB_EVENT_AT(::calcdb::obs::Severity::kError, name, cat,    \
+                  detail __VA_OPT__(, ) __VA_ARGS__)
+
 #else  // !CALCDB_OBS_ENABLED
 
 #define CALCDB_OBS_ONLY(...)
@@ -75,6 +104,10 @@
 #define CALCDB_TRACE_SPAN(var, name, cat, arg) ((void)0)
 #define CALCDB_TRACE_INSTANT(name, cat, arg) ((void)0)
 #define CALCDB_TRACE_COMPLETE(name, cat, start_us, dur_us, arg) ((void)0)
+#define CALCDB_EVENT_AT(severity, name, cat, detail, ...) ((void)0)
+#define CALCDB_EVENT(name, cat, detail, ...) ((void)0)
+#define CALCDB_WARN(name, cat, detail, ...) ((void)0)
+#define CALCDB_ERROR(name, cat, detail, ...) ((void)0)
 
 #endif  // CALCDB_OBS_ENABLED
 

@@ -45,6 +45,8 @@ void StatsReporter::WriteSnapshot() {
   auto& registry = MetricsRegistry::Global();
   if (path_.empty()) {
     std::string text = registry.SnapshotText();
+    // lint:allow(raw-stderr): stderr *is* this reporter's configured
+    // sink in text mode (empty path); there is no event to route.
     std::fprintf(stderr, "--- calcdb stats @%lld us ---\n%s",
                  static_cast<long long>(NowMicros()), text.c_str());
   } else {
@@ -52,6 +54,14 @@ void StatsReporter::WriteSnapshot() {
     std::snprintf(ts, sizeof(ts), "%lld",
                   static_cast<long long>(NowMicros()));
     std::string json = registry.SnapshotJson({{"ts_us", ts}});
+    if (health_supplier_) {
+      // Splice {"...","health":{...}} into the snapshot object so one
+      // JSONL line carries both metrics and the health report.
+      json.pop_back();
+      json += ",\"health\":";
+      json += health_supplier_();
+      json += "}";
+    }
     // lint:allow(raw-io): metrics sink, not durability-bearing — a lost
     // or torn stats line never loses committed data.
     std::FILE* f = std::fopen(path_.c_str(), "a");

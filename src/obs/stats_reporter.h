@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <thread>
 
@@ -26,6 +27,15 @@ class StatsReporter {
   /// Stops the thread after writing one final snapshot.
   void Stop();
 
+  /// Installs a supplier whose return value (a serialized JSON object,
+  /// e.g. HealthReport::ToJson()) is spliced into every snapshot line
+  /// under a "health" key. Call before Start(); the supplier must stay
+  /// valid until after Stop() (Database owns both and stops the
+  /// reporter before tearing anything down).
+  void SetHealthSupplier(std::function<std::string()> supplier) {
+    health_supplier_ = std::move(supplier);
+  }
+
   uint64_t snapshots_written() const {
     return snapshots_.load(std::memory_order_relaxed);
   }
@@ -36,6 +46,7 @@ class StatsReporter {
 
   const int64_t period_ms_;
   const std::string path_;
+  std::function<std::string()> health_supplier_;
   std::atomic<bool> running_{false};
   std::atomic<uint64_t> snapshots_{0};
   std::thread thread_;

@@ -163,6 +163,8 @@ Status RecoveryManager::LoadCheckpoints(CheckpointStorage* storage,
       // Short read / missing file: a crash artifact — fall back.
       torn = true;
       torn_id = info.id;
+      CALCDB_WARN("recovery.torn_checkpoint", "recovery", st.ToString(),
+                  {"checkpoint_id", static_cast<int64_t>(info.id)});
       break;
     }
     if (!torn) break;
@@ -178,6 +180,9 @@ Status RecoveryManager::LoadCheckpoints(CheckpointStorage* storage,
       } else {
         ++stats->checkpoints_rejected;
         CALCDB_COUNTER_ADD("calcdb.recovery.checkpoints_rejected", 1);
+        CALCDB_WARN("recovery.checkpoint_rejected", "recovery", c.path,
+                    {"checkpoint_id", static_cast<int64_t>(c.id)},
+                    {"torn_id", static_cast<int64_t>(torn_id)});
       }
     }
     candidates = std::move(kept);
@@ -264,6 +269,10 @@ Status RecoveryManager::ReplayLogGenerations(
       // (if any) are sequential, so nothing *after* the token persisted
       // either. Both ways the checkpoint already covers every durable
       // commit, and there is nothing to replay.
+      CALCDB_EVENT("recovery.anchor_not_found", "recovery", "",
+                   {"checkpoint_id",
+                    static_cast<int64_t>(stats->last_checkpoint_id)},
+                   {"generations", static_cast<int64_t>(files.size())});
       stats->replay_micros = sw.ElapsedMicros();
       return Status::OK();
     }

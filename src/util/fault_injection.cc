@@ -106,6 +106,9 @@ const char* RequireRegistered(const char* name) {
   for (const FaultPointInfo& p : kRegistry) {
     if (std::strcmp(p.name, name) == 0) return p.name;
   }
+  // lint:allow(raw-stderr): fatal path — the process aborts on the next
+  // line, before any event sink could flush; a plain stderr line is the
+  // only message that reliably survives.
   std::fprintf(stderr,
                "calcdb fault injection: unregistered crash point \"%s\"\n",
                name);
@@ -180,6 +183,12 @@ Status Poke(const char* name) {
   }
   CALCDB_COUNTER_ADD("calcdb.faults.injected", 1);
   CALCDB_TRACE_INSTANT(armed_name, "fault", hits);
+  // Emitted before the crash-mode _exit on purpose: the JSONL sink append
+  // happens inside Emit, so a postmortem of a torture run can see which
+  // injection fired last even though the ring itself dies with us.
+  CALCDB_WARN("fault.injected", "fault", armed_name,
+              {"hits", static_cast<int64_t>(hits)},
+              {"crash", mode == Mode::kCrash ? 1 : 0});
   if (mode == Mode::kCrash) {
     // _exit, not exit: no atexit handlers, no stdio flush, no
     // destructors — exactly the state a SIGKILL would leave behind.
@@ -200,6 +209,19 @@ void Disarm() {
   SpinLatchGuard guard(g_latch);
   g_point.name = nullptr;
   g_armed.store(false, std::memory_order_release);
+}
+
+void MaybeChildForcedExit() {
+  // Deliberately minimal: getenv + strtol + _exit only. This runs in the
+  // forked snapshot child, where the usual arming machinery (latch,
+  // registry resolution) is off-limits — the child must not touch locks
+  // another thread may have held across fork.
+  const char* spec = std::getenv("CALCDB_CHILD_EXIT_CODE");
+  if (spec == nullptr || spec[0] == '\0') return;
+  char* end = nullptr;
+  long code = std::strtol(spec, &end, 10);
+  if (end == spec || *end != '\0' || code < 0 || code > 255) return;
+  _exit(static_cast<int>(code));
 }
 
 #endif  // CALCDB_FAULTS_ENABLED

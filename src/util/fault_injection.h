@@ -80,6 +80,15 @@ void ArmError(const char* name, uint64_t hit_n = 1);
 /// Disarms whatever is armed (idempotent).
 void Disarm();
 
+/// Child-side fault channel for fork snapshots. If the environment sets
+/// CALCDB_CHILD_EXIT_CODE=<0..255>, _exit()s with that code; otherwise a
+/// no-op. Fork-safe by construction (getenv + strtol + _exit, no locks,
+/// no allocation) — the snapshot child calls this via
+/// CALCDB_CHILD_CRASH_POINT to model "the child died mid-snapshot", a
+/// death the in-process arming machinery cannot reach because Poke's
+/// latch may be held by a thread that no longer exists after fork.
+void MaybeChildForcedExit();
+
 #endif  // CALCDB_FAULTS_ENABLED
 
 }  // namespace fault
@@ -116,11 +125,19 @@ void Disarm();
 #define CALCDB_FAULT_POINT(name) \
   CALCDB_RETURN_NOT_OK(CALCDB_FAULT_STATUS(name))
 
+/// Fork-child probe: dies with the CALCDB_CHILD_EXIT_CODE environment's
+/// exit code, if set. Unlike CALCDB_CRASH_POINT this takes no name and
+/// touches no shared state — it is the only probe safe between fork()
+/// and _exit() in the snapshot child.
+#define CALCDB_CHILD_CRASH_POINT() \
+  ::calcdb::fault::MaybeChildForcedExit()
+
 #else  // !CALCDB_FAULTS_ENABLED
 
 #define CALCDB_CRASH_POINT(name) ((void)0)
 #define CALCDB_FAULT_STATUS(name) (::calcdb::Status::OK())
 #define CALCDB_FAULT_POINT(name) ((void)0)
+#define CALCDB_CHILD_CRASH_POINT() ((void)0)
 
 #endif  // CALCDB_FAULTS_ENABLED
 

@@ -46,9 +46,16 @@ void TokenBucket::Consume(size_t n) {
     SleepMicros(sleep_us);
   }
 #if CALCDB_OBS_ENABLED
+  int64_t stall_us = NowMicros() - stall_start_us;
   CALCDB_COUNTER_ADD("calcdb.io.throttle_stalls", 1);
   CALCDB_COUNTER_ADD("calcdb.io.throttle_stall_us",
-                     static_cast<uint64_t>(NowMicros() - stall_start_us));
+                     static_cast<uint64_t>(stall_us));
+  // Saturation fires on every throttled write under a busy capture, so
+  // this site leans on the macro's per-site token bucket: a handful of
+  // INFO events with the rest folded into their suppressed counts.
+  CALCDB_EVENT("io.throttle_saturated", "io", "",
+               {"stall_us", stall_us},
+               {"bytes", static_cast<int64_t>(n)});
 #endif
 }
 

@@ -83,9 +83,12 @@ std::string WorkerPath() {
 }
 
 /// Runs one worker lifetime. `crash_spec` is "point[:hit]" (empty: no
-/// fault armed). Returns the worker's exit code, or -signal if killed.
+/// fault armed); `child_exit_code` arms the fork-snapshot child's
+/// env-driven fault channel (empty: disarmed). Returns the worker's
+/// exit code, or -signal if killed.
 int SpawnWorker(const std::string& dir, const TortureConfig& config,
-                const std::string& crash_spec) {
+                const std::string& crash_spec,
+                const std::string& child_exit_code = "") {
   std::string worker = WorkerPath();
   std::vector<std::string> argv_strings = {
       worker,
@@ -106,6 +109,11 @@ int SpawnWorker(const std::string& dir, const TortureConfig& config,
       ::setenv("CALCDB_CRASH_POINT", crash_spec.c_str(), 1);
     }
     ::unsetenv("CALCDB_FAULT_ERROR");
+    if (child_exit_code.empty()) {
+      ::unsetenv("CALCDB_CHILD_EXIT_CODE");
+    } else {
+      ::setenv("CALCDB_CHILD_EXIT_CODE", child_exit_code.c_str(), 1);
+    }
     std::vector<char*> argv;
     argv.reserve(argv_strings.size() + 1);
     for (std::string& s : argv_strings) argv.push_back(s.data());
@@ -347,6 +355,28 @@ TEST(CrashTortureMatrix, CrashThenCleanRun) {
             fault::kCrashExitCode);
   ASSERT_EQ(SpawnWorker(dir.path(), config, ""), 0);
   VerifyRecovery(dir.path(), config, "manifest.rename:2 then clean run");
+}
+
+/// Mid-snapshot death of the fork-snapshot child: CALCDB_CHILD_EXIT_CODE
+/// kills the child before its fsync, so the worker's Checkpoint() fails
+/// cleanly (exit 1 — the *parent* does not crash) and the on-disk state
+/// holds an unregistered, possibly-not-durable snapshot file that
+/// recovery must ignore. Deliberately not a kMatrix entry: the matrix
+/// enumerates registered parent-side probes, and the child channel lives
+/// outside the registry because no latch-based arming is fork-safe.
+TEST(CrashTortureMatrix, ForkChildDiesMidSnapshot) {
+  CALCDB_SKIP_WITHOUT_FAULTS();
+  CALCDB_SKIP_FORK_UNDER_TSAN(CheckpointAlgorithm::kFork);
+  TempDir dir;
+  TortureConfig config;
+  config.algo = "fork";
+  int rc = SpawnWorker(dir.path(), config, "", /*child_exit_code=*/"9");
+  ASSERT_EQ(rc, 1)
+      << "worker should fail its checkpoint and exit via Fail(), rc=" << rc;
+  VerifyRecovery(dir.path(), config, "fork child forced exit 9");
+  // A clean second lifetime recovers past the dead child's leavings.
+  ASSERT_EQ(SpawnWorker(dir.path(), config, ""), 0);
+  VerifyRecovery(dir.path(), config, "fork child death then clean run");
 }
 
 /// Randomized schedules: point, hit count, and engine config drawn from

@@ -10,8 +10,12 @@
 #include <string>
 #include <vector>
 
+#include <cstdlib>
+
 #include "checkpoint/merger.h"
 #include "gtest/gtest.h"
+#include "obs/event_log.h"
+#include "obs/obs.h"
 #include "tests/test_util.h"
 #include "tests/torture/bank_workload.h"
 #include "util/clock.h"
@@ -274,6 +278,75 @@ TEST_F(FaultInjectionTest, PeriodicCheckpointErrorSurfaces) {
   ASSERT_FALSE(bg.ok()) << "periodic loop never hit the armed fault";
   EXPECT_TRUE(bg.IsIOError()) << bg.ToString();
   EXPECT_NE(bg.ToString().find("injected fault"), std::string::npos);
+}
+
+/// A streamer failure is not just a Status: it must flip GetHealth()
+/// red and (with observability on) announce itself as one ERROR event
+/// on the structured channel.
+TEST_F(FaultInjectionTest, StreamerFailureEmitsEventAndUnhealthyReport) {
+  obs::EventLog::Global().ResetForTest();
+  obs::EventLog::Global().SetStderrMirror(false);
+  TempDir dir;
+  std::unique_ptr<Database> db;
+  OpenBankDb(dir, &db, CheckpointAlgorithm::kCalc, /*capture_threads=*/1,
+             /*with_streamer=*/true);
+  EXPECT_TRUE(db->GetHealth().healthy);
+  fault::ArmError("log.fsync");
+  TransferStream stream(4, 16);
+  Status bg;
+  for (int tries = 0; tries < 2000; ++tries) {
+    ASSERT_TRUE(db->executor()
+                    ->Execute(kTransferProcId, stream.NextArgs(), 0)
+                    .ok());
+    bg = db->BackgroundStatus();
+    if (!bg.ok()) break;
+    SleepMicros(1000);
+  }
+  ASSERT_FALSE(bg.ok()) << "flusher never hit the armed fault";
+  obs::HealthReport report = db->GetHealth();
+  EXPECT_FALSE(report.healthy);
+  EXPECT_FALSE(report.background_ok);
+  EXPECT_NE(report.background_error.find("injected fault"),
+            std::string::npos);
+#if CALCDB_OBS_ENABLED
+  // The streamer announced its first OK->failed transition, and the
+  // injection itself left its own event. (No db.background_error here:
+  // Database *polls* the streamer's status rather than copying it, so
+  // the one failure is announced once, at the site that owns it.)
+  std::set<std::string> names;
+  for (const obs::Event& ev :
+       obs::EventLog::Global().ring().Snapshot()) {
+    if (ev.name != nullptr) names.insert(ev.name);
+  }
+  EXPECT_TRUE(names.count("log.background_error"));
+  EXPECT_TRUE(names.count("fault.injected"));
+#endif
+  EXPECT_FALSE(db->Shutdown().ok());
+  obs::EventLog::Global().ResetForTest();
+}
+
+/// The fork-snapshot child's fault channel: CALCDB_CHILD_EXIT_CODE
+/// forces the child to _exit mid-snapshot (before its fsync), and the
+/// parent maps the death to an IOError carrying the exit code.
+TEST_F(FaultInjectionTest, ForkChildForcedExitSurfacesExitCode) {
+  CALCDB_SKIP_FORK_UNDER_TSAN(CheckpointAlgorithm::kFork);
+  obs::EventLog::Global().ResetForTest();
+  obs::EventLog::Global().SetStderrMirror(false);
+  TempDir dir;
+  std::unique_ptr<Database> db;
+  OpenBankDb(dir, &db, CheckpointAlgorithm::kFork, /*capture_threads=*/1);
+  ASSERT_EQ(setenv("CALCDB_CHILD_EXIT_CODE", "7", 1), 0);
+  Status st = db->Checkpoint();
+  ASSERT_EQ(unsetenv("CALCDB_CHILD_EXIT_CODE"), 0);
+  ASSERT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsIOError()) << st.ToString();
+  EXPECT_NE(st.ToString().find("exit code 7"), std::string::npos)
+      << st.ToString();
+  // The child died before registration: no checkpoint exists, and the
+  // next cycle (environment cleared) succeeds.
+  EXPECT_TRUE(db->checkpoint_storage()->List().empty());
+  EXPECT_TRUE(db->Checkpoint().ok());
+  obs::EventLog::Global().ResetForTest();
 }
 
 #endif  // CALCDB_FAULTS_ENABLED

@@ -1,0 +1,17 @@
+// expect-lint: raw-stderr
+//
+// Direct stderr writes outside obs/event_log.cc: diagnostics must flow
+// through CALCDB_WARN/CALCDB_ERROR, which add severity, per-site rate
+// limiting and the machine-readable JSONL sink. A bare fprintf(stderr)
+// is invisible to the event ring, unbounded under a failure storm, and
+// unparseable by tooling.
+
+#include <cstdio>
+
+namespace calcdb {
+
+void ReportFailure(const char* what) {
+  std::fprintf(stderr, "calcdb: operation failed: %s\n", what);
+}
+
+}  // namespace calcdb

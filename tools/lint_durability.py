@@ -49,6 +49,15 @@ dropped return; these rules police everything the type system cannot see:
                         DURABILITY.md survival table overclaim coverage.
                         (lint_concurrency.py checks the reverse
                         direction, probe -> registry.)
+  raw-stderr            Direct stderr writes (fprintf(stderr, ...),
+                        fputs(..., stderr), perror()) are only allowed in
+                        obs/event_log.cc — the event sink owns the
+                        process's diagnostic channel, with severity,
+                        rate-limiting and a machine-readable mirror.
+                        Everywhere else, emit a CALCDB_WARN/CALCDB_ERROR
+                        event instead, or waive with a reason (e.g. a
+                        fatal path that aborts before any sink could
+                        flush).
 
 A finding can be waived per line with a trailing comment carrying a
 mandatory justification:
@@ -86,6 +95,15 @@ RAW_IO_ALLOWED = (
     "util/fault_injection.cc",
 )
 
+# The one file allowed to write to stderr directly: the event sink's
+# rate-limited WARN/ERROR mirror *is* the sanctioned stderr channel.
+RAW_STDERR_ALLOWED = ("obs/event_log.cc",)
+
+RAW_STDERR_RE = re.compile(
+    r"(?<![\w:])(?:std::|::)?fprintf\s*\(\s*stderr\b"
+    r"|(?<![\w:])(?:std::|::)?fputs\s*\([^;()]*,\s*stderr\s*\)"
+    r"|(?<![\w:])(?:std::|::)?perror\s*\(")
+
 RAW_IO_RE = re.compile(
     r"(?<![\w:])(?:std::|::)?"
     r"(fopen|fdopen|creat|rename|unlink|remove|truncate|ftruncate)\s*\("
@@ -101,7 +119,8 @@ BARRIER_RE = re.compile(
     r"|(?:\.|->)(?:Sync|Close)\s*\(")
 RENAME_RE = re.compile(r"(?<![\w:])(?:std::|::)?rename\s*\(")
 PROBE_RE = re.compile(
-    r"\bCALCDB_(?:CRASH_POINT|FAULT_STATUS|FAULT_POINT)\s*\(")
+    r"\bCALCDB_(?:CRASH_POINT|CHILD_CRASH_POINT|FAULT_STATUS|FAULT_POINT)"
+    r"\s*\(")
 PROBE_NAME_RE = re.compile(
     r'\bCALCDB_(?:CRASH_POINT|FAULT_STATUS|FAULT_POINT)\s*\(\s*"')
 
@@ -401,6 +420,25 @@ def check_raw_io(path, code, raw_lines, root):
     return findings
 
 
+def check_raw_stderr(path, code, raw_lines):
+    norm = path.replace(os.sep, "/")
+    if norm.endswith(RAW_STDERR_ALLOWED):
+        return []
+    findings = []
+    for m in RAW_STDERR_RE.finditer(code):
+        lineno = line_of(code, m.start())
+        if waived(raw_lines, lineno, "raw-stderr"):
+            continue
+        findings.append(Finding(
+            path, lineno, "raw-stderr",
+            "direct stderr write outside obs/event_log.cc: emit a "
+            "CALCDB_WARN/CALCDB_ERROR event instead (severity, rate "
+            "limiting and the JSONL sink come for free), or waive with "
+            "lint:allow(raw-stderr): <reason> on fatal paths that abort "
+            "before any sink could run"))
+    return findings
+
+
 def check_crash_point_coverage(path, code, raw_lines):
     norm = path.replace(os.sep, "/")
     if norm.endswith("util/throttled_file.cc"):
@@ -469,6 +507,7 @@ DURABILITY_RULES = {
     "status-never-read",
     "fsync-before-rename",
     "raw-io",
+    "raw-stderr",
     "crash-point-coverage",
     "crash-point-orphaned",
 }
@@ -491,6 +530,7 @@ def lint_file(path, root, status_fns):
         os.path.abspath(root) + os.sep)
     if in_product:
         findings += check_raw_io(path, code, raw_lines, root)
+        findings += check_raw_stderr(path, code, raw_lines)
         findings += check_crash_point_coverage(path, code, raw_lines)
     return findings, (path, code, raw_lines)
 
@@ -656,6 +696,22 @@ SELF_TEST_CASES = [
      '  std::FILE* f = std::fopen("x", "w");\n'
      "  (void)f;\n"
      "}\n"),
+    ("raw-stderr", True, "j.cc",
+     'void F() { std::fprintf(stderr, "boom\\n"); }\n'),
+    ("raw-stderr", True, "j.cc",
+     'void F() { perror("boom"); }\n'),
+    ("raw-stderr", True, "j.cc",
+     'void F() { std::fputs("boom", stderr); }\n'),
+    ("raw-stderr", False, "obs/event_log.cc",
+     'void F() { std::fprintf(stderr, "boom\\n"); }\n'),
+    ("raw-stderr", False, "j.cc",
+     "void F() {\n"
+     "  // lint:allow(raw-stderr): fatal path, aborts before any sink\n"
+     '  std::fprintf(stderr, "boom\\n");\n'
+     "  std::abort();\n"
+     "}\n"),
+    ("raw-stderr", False, "j.cc",
+     'void F(std::FILE* f) { std::fprintf(f, "fine\\n"); }\n'),
     ("crash-point-coverage", True, "f.cc",
      "bool F(int fd) { return ::fsync(fd) == 0; }\n"),
     ("crash-point-coverage", False, "f.cc",

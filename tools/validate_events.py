@@ -1,0 +1,250 @@
+#!/usr/bin/env python3
+"""Validates calcdb structured-event JSONL against tools/events_schema.json.
+
+The engine exports events as one JSON object per line (the --events_out
+sink written by obs::EventLog, and EventLog::ExportJsonl dumps). An
+empty file is valid: a clean run emits no events, and CI still uploads
+the (empty) artifact.
+
+Checks, per event line:
+
+  * the line is a JSON object carrying exactly the schema's fields
+    (ts_us/severity/name/cat/tid/suppressed/fields/detail);
+  * severity is one of the schema's enumerated levels;
+  * the name follows the "<subsystem>.<event>" convention and the
+    category is a short lowercase tag (docs/OBSERVABILITY.md);
+  * ts_us is a positive integer and the sequence is sane (monotone
+    non-decreasing within a file up to a small reorder slack — the ring
+    is multi-producer, so adjacent lines may swap by a few microseconds
+    but a backwards jump of seconds means a corrupt dump);
+  * tid and suppressed are non-negative integers;
+  * `fields` is an object of integer values, at most max_fields entries,
+    with lowercase keys.
+
+Stdlib only — runs anywhere CI has a python3.
+
+Usage:
+    validate_events.py [--schema SCHEMA.json] FILE [FILE...]
+    validate_events.py --self-test
+Exit status: 0 valid, 1 findings (or self-test failure).
+"""
+
+import json
+import os
+import re
+import sys
+
+EVENT_FIELDS = ("ts_us", "severity", "name", "cat", "tid", "suppressed",
+                "fields", "detail")
+
+# Multi-producer ring: adjacent events may land slightly out of ts order.
+REORDER_SLACK_US = 1_000_000
+
+
+def default_schema_path():
+    return os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                        "events_schema.json")
+
+
+def is_int(v):
+    return isinstance(v, int) and not isinstance(v, bool)
+
+
+def validate_event(ev, schema, where):
+    errors = []
+
+    def err(msg):
+        errors.append(f"{where}: {msg}")
+
+    if not isinstance(ev, dict):
+        err("event is not a JSON object")
+        return errors
+    missing = [f for f in EVENT_FIELDS if f not in ev]
+    extra = [f for f in ev if f not in EVENT_FIELDS]
+    if missing:
+        err(f"missing fields {missing}")
+    if extra:
+        err(f"unknown fields {extra}")
+    if missing or extra:
+        return errors
+
+    if not is_int(ev["ts_us"]) or ev["ts_us"] <= 0:
+        err(f"ts_us must be a positive integer, got {ev['ts_us']!r}")
+    if ev["severity"] not in schema["severities"]:
+        err(f"severity {ev['severity']!r} not in {schema['severities']}")
+    name_re = re.compile(schema["name_pattern"])
+    if not isinstance(ev["name"], str) or not name_re.match(ev["name"]):
+        err(f"name {ev['name']!r} does not match {schema['name_pattern']}")
+    cat_re = re.compile(schema["cat_pattern"])
+    if not isinstance(ev["cat"], str) or not cat_re.match(ev["cat"]):
+        err(f"cat {ev['cat']!r} does not match {schema['cat_pattern']}")
+    if not is_int(ev["tid"]) or ev["tid"] < 0:
+        err(f"tid must be a non-negative integer, got {ev['tid']!r}")
+    if not is_int(ev["suppressed"]) or ev["suppressed"] < 0:
+        err(f"suppressed must be a non-negative integer, "
+            f"got {ev['suppressed']!r}")
+    if not isinstance(ev["detail"], str):
+        err(f"detail must be a string, got {ev['detail']!r}")
+    fields = ev["fields"]
+    if not isinstance(fields, dict):
+        err(f"fields must be an object, got {fields!r}")
+    else:
+        if len(fields) > schema["max_fields"]:
+            err(f"fields has {len(fields)} entries, schema allows at "
+                f"most {schema['max_fields']}")
+        key_re = re.compile(schema["key_pattern"])
+        for k, v in fields.items():
+            if not key_re.match(k):
+                err(f"field key {k!r} does not match "
+                    f"{schema['key_pattern']}")
+            if not is_int(v):
+                err(f"field '{k}' must be an integer, got {v!r}")
+    return errors
+
+
+def validate_file(path, schema):
+    with open(path, encoding="utf-8") as f:
+        text = f.read()
+    errors = []
+    last_ts = None
+    for i, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        where = f"{path}:{i}"
+        try:
+            ev = json.loads(line)
+        except json.JSONDecodeError as e:
+            errors.append(f"{where}: not valid JSON ({e.msg})")
+            continue
+        errors.extend(validate_event(ev, schema, where))
+        ts = ev.get("ts_us") if isinstance(ev, dict) else None
+        if is_int(ts) and ts > 0:
+            if last_ts is not None and ts < last_ts - REORDER_SLACK_US:
+                errors.append(
+                    f"{where}: ts_us jumps backwards by "
+                    f"{last_ts - ts} us (> {REORDER_SLACK_US} slack): "
+                    "dump is not a single run's event stream")
+            last_ts = max(last_ts, ts) if last_ts is not None else ts
+    return errors
+
+
+# --------------------------------------------------------------------------
+# Self-test: the validator must accept a known-good stream and reject
+# each seeded corruption. Keeps CI's gate honest.
+# --------------------------------------------------------------------------
+
+GOOD = {
+    "ts_us": 1700000000000000,
+    "severity": "WARN",
+    "name": "ckpt.gc_unlink_failed",
+    "cat": "ckpt",
+    "tid": 3,
+    "suppressed": 0,
+    "fields": {"errno": 2},
+    "detail": "/tmp/ckpt_00000001.full",
+}
+
+SELF_TEST_CASES = [
+    # (should_pass, mutation applied to a deep copy of GOOD)
+    (True, lambda d: d),
+    (False, lambda d: (d.pop("severity"), d)[1]),
+    (False, lambda d: (d.update({"severity": "FATAL"}), d)[1]),
+    (False, lambda d: (d.update({"name": "NoDotsHere"}), d)[1]),
+    (False, lambda d: (d.update({"cat": "Not A Tag"}), d)[1]),
+    (False, lambda d: (d.update({"ts_us": -5}), d)[1]),
+    (False, lambda d: (d.update({"tid": "three"}), d)[1]),
+    (False, lambda d: (d.update({"suppressed": -1}), d)[1]),
+    (False, lambda d: (d.update({"fields": [1, 2]}), d)[1]),
+    (False, lambda d: (d.update(
+        {"fields": {"a": 1, "b": 2, "c": 3, "d": 4}}), d)[1]),
+    (False, lambda d: (d["fields"].update({"errno": "ENOENT"}), d)[1]),
+    (False, lambda d: (d.update({"detail": 7}), d)[1]),
+    (False, lambda d: (d.update({"bogus": 1}), d)[1]),
+]
+
+
+def self_test():
+    import copy
+    import tempfile
+
+    with open(default_schema_path(), encoding="utf-8") as f:
+        schema = json.load(f)
+    failures = []
+    for idx, (should_pass, mutate) in enumerate(SELF_TEST_CASES):
+        doc = mutate(copy.deepcopy(GOOD))
+        errors = validate_event(doc, schema, f"case{idx}")
+        if should_pass and errors:
+            failures.append(f"case {idx}: expected valid, got: {errors}")
+        if not should_pass and not errors:
+            failures.append(f"case {idx}: corruption not detected")
+
+    def file_case(label, content, should_pass):
+        with tempfile.NamedTemporaryFile("w", suffix=".jsonl",
+                                         delete=False) as f:
+            f.write(content)
+            path = f.name
+        try:
+            errors = validate_file(path, schema)
+        finally:
+            os.unlink(path)
+        if should_pass and errors:
+            failures.append(f"{label}: expected valid, got: {errors}")
+        if not should_pass and not errors:
+            failures.append(f"{label}: corruption not detected")
+
+    # An empty sink is a valid artifact of a clean run.
+    file_case("empty file", "", True)
+    file_case("jsonl stream",
+              json.dumps(GOOD) + "\n" + json.dumps(GOOD) + "\n", True)
+    backwards = dict(GOOD, ts_us=GOOD["ts_us"] - 10_000_000)
+    file_case("backwards ts",
+              json.dumps(GOOD) + "\n" + json.dumps(backwards) + "\n",
+              False)
+    file_case("garbage line", json.dumps(GOOD) + "\nnot json\n", False)
+
+    if failures:
+        print("validate_events self-test FAILED:")
+        for f in failures:
+            print("  " + f)
+        return 1
+    print(f"validate_events self-test: {len(SELF_TEST_CASES) + 4} "
+          "cases ok")
+    return 0
+
+
+def main(argv):
+    if "--self-test" in argv:
+        return self_test()
+    schema_path = default_schema_path()
+    files = []
+    i = 0
+    while i < len(argv):
+        if argv[i] == "--schema":
+            if i + 1 >= len(argv):
+                print("--schema needs a path", file=sys.stderr)
+                return 1
+            schema_path = argv[i + 1]
+            i += 2
+            continue
+        files.append(argv[i])
+        i += 1
+    if not files:
+        print(__doc__, file=sys.stderr)
+        return 1
+    with open(schema_path, encoding="utf-8") as f:
+        schema = json.load(f)
+    all_errors = []
+    for path in files:
+        all_errors.extend(validate_file(path, schema))
+    for e in all_errors:
+        print(e)
+    if all_errors:
+        print(f"validate_events: {len(all_errors)} finding(s) in "
+              f"{len(files)} file(s)")
+        return 1
+    print(f"validate_events: {len(files)} file(s) valid")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
