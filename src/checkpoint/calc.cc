@@ -301,15 +301,16 @@ Status CalcCheckpointer::CaptureSegmented(uint32_t slot_limit,
     segs[k].end = total * (k + 1) / nseg;
     segs[k].path = engine_.ckpt_storage->SegmentPathFor(id, type, k);
   }
-  // Every segment writer draws from the storage-wide budget, keeping the
-  // configured rate an aggregate cap over all concurrent writers.
-  const std::shared_ptr<TokenBucket>& budget =
-      engine_.ckpt_storage->write_budget();
+  // Every segment writer draws from the storage-wide budget (carried in
+  // writer_options), keeping the configured rate an aggregate cap over
+  // all concurrent writers.
+  const CheckpointWriterOptions& writer_options =
+      engine_.ckpt_storage->writer_options();
   auto capture_range = [&](size_t k) {
     Segment& seg = segs[k];
     CALCDB_OBS_ONLY(int64_t seg_start_us = NowMicros();)
     CheckpointFileWriter writer;
-    seg.status = writer.Open(seg.path, type, id, vpoc_lsn, budget);
+    seg.status = writer.Open(seg.path, type, id, vpoc_lsn, writer_options);
     for (size_t i = seg.begin; seg.status.ok() && i < seg.end; ++i) {
       uint32_t idx =
           options_.partial ? dirty_indices[i] : static_cast<uint32_t>(i);
@@ -448,7 +449,7 @@ Status CalcCheckpointer::RunCheckpointCycle() {
     std::string path = engine_.ckpt_storage->PathFor(id, type);
     CheckpointFileWriter writer;
     CALCDB_RETURN_NOT_OK(writer.Open(
-        path, type, id, vpoc_lsn, engine_.ckpt_storage->write_budget()));
+        path, type, id, vpoc_lsn, engine_.ckpt_storage->writer_options()));
     CALCDB_RETURN_NOT_OK(options_.partial
                              ? CapturePartial(slot_limit, &writer)
                              : CaptureAll(slot_limit, &writer));

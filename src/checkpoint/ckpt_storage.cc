@@ -23,6 +23,7 @@ CheckpointStorage::CheckpointStorage(std::string dir,
   if (disk_bytes_per_sec_ != 0) {
     write_budget_ = std::make_shared<TokenBucket>(disk_bytes_per_sec_);
   }
+  writer_options_.budget = write_budget_;
 }
 
 Status CheckpointStorage::Init() {

@@ -2,9 +2,11 @@
 #define CALCDB_CHECKPOINT_CKPT_STORAGE_H_
 
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "checkpoint/ckpt_file.h"
@@ -106,12 +108,37 @@ class CheckpointStorage {
     return write_budget_;
   }
 
+  /// Installs the writer configuration (block size, async/direct I/O,
+  /// checksum kind) every checkpoint writer opened against this storage
+  /// should use. The options' budget field is overridden with
+  /// write_budget() — the aggregate cap is not opt-out. Call before any
+  /// capture starts (Database does this at construction).
+  void ConfigureWriters(CheckpointWriterOptions options) {
+    writer_options_ = std::move(options);
+    writer_options_.budget = write_budget_;
+  }
+
+  /// The writer configuration for this storage, budget included. Pass
+  /// straight to CheckpointFileWriter::Open.
+  const CheckpointWriterOptions& writer_options() const {
+    return writer_options_;
+  }
+
+  /// Read-ahead buffer size checkpoint readers (recovery, merger) should
+  /// open with; see SequentialFileReader::Open.
+  void ConfigureReaders(size_t read_ahead_bytes) {
+    read_ahead_bytes_ = read_ahead_bytes;
+  }
+  size_t read_ahead_bytes() const { return read_ahead_bytes_; }
+
  private:
   std::string ManifestPath() const { return dir_ + "/MANIFEST"; }
 
   std::string dir_;
   uint64_t disk_bytes_per_sec_;
   std::shared_ptr<TokenBucket> write_budget_;
+  CheckpointWriterOptions writer_options_;
+  size_t read_ahead_bytes_ = 1 << 20;
   std::atomic<uint64_t> next_id_{0};
 
   mutable SpinLatch latch_;

@@ -105,7 +105,7 @@ Status FuzzyCheckpointer::RunCheckpointCycle() {
   CheckpointFileWriter writer;
   CALCDB_RETURN_NOT_OK(
       writer.Open(path, type, id, poc_lsn,
-                  engine_.ckpt_storage->write_budget()));
+                  engine_.ckpt_storage->writer_options()));
 
   DirtyKeyTracker& dirty = *dirty_[capture_side];
   if (options_.partial) {

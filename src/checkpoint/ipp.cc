@@ -91,7 +91,7 @@ Status IppCheckpointer::RunCheckpointCycle() {
   CheckpointFileWriter writer;
   CALCDB_RETURN_NOT_OK(
       writer.Open(path, type, id, poc_lsn,
-                  engine_.ckpt_storage->disk_bytes_per_sec()));
+                  engine_.ckpt_storage->writer_options()));
 
   AtomicBitVector& dirty = *dirty_bits_[merge_side];
   std::vector<Value*>& merged_from = arrays_[merge_side];

@@ -34,7 +34,8 @@ Status CheckpointMerger::CollapseOnce(size_t max_partials,
     // chain.
     for (const std::string& file : info.files()) {
       CheckpointFileReader reader;
-      CALCDB_RETURN_NOT_OK(reader.Open(file));
+      CALCDB_RETURN_NOT_OK(
+          reader.Open(file, storage_->read_ahead_bytes()));
       CALCDB_RETURN_NOT_OK(
           reader.ReadAll([&](const CheckpointEntry& entry) -> Status {
             if (entry.tombstone) {
@@ -61,7 +62,7 @@ Status CheckpointMerger::CollapseOnce(size_t max_partials,
   CheckpointFileWriter writer;
   CALCDB_RETURN_NOT_OK(writer.Open(out.path, CheckpointType::kFull, out.id,
                                    out.vpoc_lsn,
-                                   storage_->write_budget()));
+                                   storage_->writer_options()));
   for (const auto& [key, value] : merged) {
     CALCDB_RETURN_NOT_OK(writer.Append(key, value));
   }

@@ -139,7 +139,7 @@ Status MvccCheckpointer::RunCheckpointCycle() {
   CheckpointFileWriter writer;
   CALCDB_RETURN_NOT_OK(
       writer.Open(path, CheckpointType::kFull, id, poc_lsn,
-                  engine_.ckpt_storage->disk_bytes_per_sec()));
+                  engine_.ckpt_storage->writer_options()));
 
   for (uint32_t idx = 0; idx < slots_at_poc; ++idx) {
     Record* rec = engine_.store->ByIndex(idx);

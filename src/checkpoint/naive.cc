@@ -56,7 +56,7 @@ Status NaiveSnapshotCheckpointer::RunCheckpointCycle() {
             Phase::kResolve, id, /*pc=*/nullptr);
         CALCDB_RETURN_NOT_OK(
             writer.Open(path, type, id, poc_lsn,
-                        engine_.ckpt_storage->write_budget()));
+                        engine_.ckpt_storage->writer_options()));
         uint32_t slots = engine_.store->NumSlots();
         if (options_.partial) {
           // No transactions are active: capture the side that was being

@@ -106,7 +106,7 @@ Status ZigzagCheckpointer::RunCheckpointCycle() {
   CheckpointFileWriter writer;
   CALCDB_RETURN_NOT_OK(
       writer.Open(path, type, id, poc_lsn,
-                  engine_.ckpt_storage->disk_bytes_per_sec()));
+                  engine_.ckpt_storage->writer_options()));
 
   auto capture_record = [&](uint32_t idx) -> Status {
     Record* rec = engine_.store->ByIndex(idx);

@@ -114,12 +114,26 @@ int Database::ResolvedRecoveryThreads(const Options& options) {
                              ResolvedCaptureThreads(options));
 }
 
+bool Database::ResolvedAsyncIo(const Options& options) {
+  if (options.ckpt_async_io != 0) return options.ckpt_async_io > 0;
+  const char* env = std::getenv("CALCDB_CKPT_ASYNC_IO");
+  return env != nullptr && std::atoi(env) > 0;
+}
+
 Database::Database(const Options& options)
     : options_(options),
       pool_(options.use_value_pool ? new ValuePool() : nullptr),
       store_(new KVStore(options.max_records, pool_.get())),
       ckpt_storage_(options.checkpoint_dir, options.disk_bytes_per_sec),
-      lock_manager_(options.lock_stripes) {}
+      lock_manager_(options.lock_stripes) {
+  CheckpointWriterOptions writer_options;
+  writer_options.block_bytes = options.ckpt_block_bytes;
+  writer_options.async_io = ResolvedAsyncIo(options);
+  writer_options.direct_io = options.ckpt_direct_io;
+  writer_options.checksum = options.ckpt_checksum;
+  ckpt_storage_.ConfigureWriters(std::move(writer_options));
+  ckpt_storage_.ConfigureReaders(options.ckpt_read_ahead_bytes);
+}
 
 Database::~Database() {
   // calcdb-status-ignored: destructor has no error channel; callers that
@@ -243,7 +257,8 @@ Status Database::WriteBaseCheckpoint() {
   std::string path = ckpt_storage_.PathFor(id, CheckpointType::kFull);
   CheckpointFileWriter writer;
   CALCDB_RETURN_NOT_OK(writer.Open(path, CheckpointType::kFull, id,
-                                   poc_lsn, ckpt_storage_.write_budget()));
+                                   poc_lsn,
+                                   ckpt_storage_.writer_options()));
   uint32_t slots = store_->NumSlots();
   for (uint32_t idx = 0; idx < slots; ++idx) {
     Record* rec = store_->ByIndex(idx);

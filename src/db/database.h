@@ -145,6 +145,11 @@ class Database {
   static int ResolvedCaptureThreads(const Options& options);
   static int ResolvedRecoveryThreads(const Options& options);
 
+  /// Resolves Options::ckpt_async_io, applying the 0 = auto rule (on iff
+  /// the CALCDB_CKPT_ASYNC_IO environment variable is a positive
+  /// integer).
+  static bool ResolvedAsyncIo(const Options& options);
+
  private:
   explicit Database(const Options& options);
 

@@ -1,10 +1,12 @@
 #ifndef CALCDB_DB_OPTIONS_H_
 #define CALCDB_DB_OPTIONS_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 
 #include "checkpoint/dirty_tracker.h"
+#include "util/crc32.h"
 
 namespace calcdb {
 
@@ -61,6 +63,37 @@ struct Options {
   /// aggregate write rate still capped by `disk_bytes_per_sec`. 0 means
   /// auto: the CALCDB_CAPTURE_THREADS environment variable if set, else 1.
   int capture_threads = 0;
+
+  /// Checkpoint-writer serialization block size: entries accumulate into
+  /// blocks of this size before hitting the file (one token charge + one
+  /// write per block instead of four per record). Never changes the
+  /// on-disk byte stream, only the append granularity. 0 keeps the
+  /// default (256 KiB).
+  size_t ckpt_block_bytes = 256 * 1024;
+
+  /// Async double-buffered checkpoint I/O: each checkpoint writer gets a
+  /// dedicated I/O thread, so capture serializes block N+1 while block N
+  /// drains to disk. 0 means auto: on iff the CALCDB_CKPT_ASYNC_IO
+  /// environment variable is a positive integer; > 0 forces on, < 0
+  /// forces off.
+  int ckpt_async_io = 0;
+
+  /// Open checkpoint files with O_DIRECT so block writes bypass the page
+  /// cache and genuinely block in the device — the mode where async I/O
+  /// pays off even on few cores (buffered writes rarely stall). Falls
+  /// back to buffered I/O on filesystems without O_DIRECT.
+  bool ckpt_direct_io = false;
+
+  /// Checksum for newly written checkpoint files. kCrc32 writes format
+  /// v1 (seed-compatible bytes); kCrc32c writes format v2 and uses the
+  /// hardware CRC instruction where the CPU has one. Readers accept both
+  /// regardless of this setting.
+  ChecksumKind ckpt_checksum = ChecksumKind::kCrc32;
+
+  /// Read-ahead buffer for checkpoint readers (recovery, merger): entry
+  /// scans issue one read(2) per this many bytes instead of one per
+  /// libc BUFSIZ. 0 keeps the libc default buffer.
+  size_t ckpt_read_ahead_bytes = 1 << 20;
 
   /// Recovery checkpoint-load worker threads. Segments of one checkpoint
   /// are loaded concurrently (they hold disjoint keys); checkpoints still

@@ -1,37 +1,161 @@
 #include "util/crc32.h"
 
+#include <cstring>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <cpuid.h>
+#include <nmmintrin.h>
+#define CALCDB_CRC32C_X86 1
+#elif defined(__aarch64__) && defined(__ARM_FEATURE_CRC32)
+#include <arm_acle.h>
+#define CALCDB_CRC32C_ARM 1
+#endif
+
 namespace calcdb {
 
 namespace {
 
-struct Crc32Table {
-  uint32_t t[256];
-  Crc32Table() {
+/// Slice-by-8 tables for one reflected polynomial. t[0] is the classic
+/// byte-at-a-time table; t[1..7] fold 8 input bytes per iteration, which
+/// is what turns the per-byte dependency chain into table lookups the CPU
+/// can overlap (~5-8x the byte-at-a-time loop on this codebase's hosts).
+struct Slice8Table {
+  uint32_t t[8][256];
+
+  explicit Slice8Table(uint32_t poly) {
     for (uint32_t i = 0; i < 256; ++i) {
       uint32_t c = i;
       for (int k = 0; k < 8; ++k) {
-        c = (c & 1) ? 0xedb88320u ^ (c >> 1) : (c >> 1);
+        c = (c & 1) ? poly ^ (c >> 1) : (c >> 1);
       }
-      t[i] = c;
+      t[0][i] = c;
     }
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = t[0][i];
+      for (int s = 1; s < 8; ++s) {
+        c = t[0][c & 0xffu] ^ (c >> 8);
+        t[s][i] = c;
+      }
+    }
+  }
+
+  uint32_t Run(const void* data, size_t n, uint32_t seed) const {
+    const auto* p = static_cast<const uint8_t*>(data);
+    uint32_t c = seed ^ 0xffffffffu;
+    while (n >= 8) {
+      // Little-endian load of the first 4 bytes folded into the running
+      // CRC; the next 4 processed as plain bytes through the high tables.
+      uint32_t lo;
+      std::memcpy(&lo, p, sizeof(lo));
+      c ^= lo;
+      c = t[7][c & 0xffu] ^ t[6][(c >> 8) & 0xffu] ^
+          t[5][(c >> 16) & 0xffu] ^ t[4][c >> 24] ^ t[3][p[4]] ^
+          t[2][p[5]] ^ t[1][p[6]] ^ t[0][p[7]];
+      p += 8;
+      n -= 8;
+    }
+    while (n-- > 0) {
+      c = t[0][(c ^ *p++) & 0xffu] ^ (c >> 8);
+    }
+    return c ^ 0xffffffffu;
   }
 };
 
-const Crc32Table& Table() {
-  static const Crc32Table& table = *new Crc32Table();
+// Leaked singletons: checksums run on capture/recovery/IO threads up to
+// process exit, so the tables must never be destroyed.
+const Slice8Table& IsoHdlcTable() {
+  static const Slice8Table& table = *new Slice8Table(0xedb88320u);
   return table;
 }
+
+const Slice8Table& CastagnoliTable() {
+  static const Slice8Table& table = *new Slice8Table(0x82f63b78u);
+  return table;
+}
+
+#if defined(CALCDB_CRC32C_X86)
+
+bool DetectSse42() {
+  unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
+  if (__get_cpuid(1, &eax, &ebx, &ecx, &edx) == 0) return false;
+  return (ecx & bit_SSE4_2) != 0;
+}
+
+/// Hardware CRC-32C, 8 bytes per `crc32q` instruction. Compiled with the
+/// sse4.2 target attribute so the rest of the build needs no -msse4.2;
+/// only ever called after DetectSse42() confirms the instruction exists.
+__attribute__((target("sse4.2"))) uint32_t Crc32cHw(const void* data,
+                                                    size_t n,
+                                                    uint32_t seed) {
+  const auto* p = static_cast<const uint8_t*>(data);
+  uint64_t c = seed ^ 0xffffffffu;
+  while (n >= 8) {
+    uint64_t word;
+    std::memcpy(&word, p, sizeof(word));
+    c = _mm_crc32_u64(c, word);
+    p += 8;
+    n -= 8;
+  }
+  uint32_t c32 = static_cast<uint32_t>(c);
+  while (n-- > 0) {
+    c32 = _mm_crc32_u8(c32, *p++);
+  }
+  return c32 ^ 0xffffffffu;
+}
+
+bool HardwareAvailable() {
+  static const bool available = DetectSse42();
+  return available;
+}
+
+#elif defined(CALCDB_CRC32C_ARM)
+
+/// ARMv8 CRC32 extension, 8 bytes per `crc32cx`. Guarded by
+/// __ARM_FEATURE_CRC32: the target promises the instruction at compile
+/// time, so no runtime probe is needed.
+uint32_t Crc32cHw(const void* data, size_t n, uint32_t seed) {
+  const auto* p = static_cast<const uint8_t*>(data);
+  uint32_t c = seed ^ 0xffffffffu;
+  while (n >= 8) {
+    uint64_t word;
+    std::memcpy(&word, p, sizeof(word));
+    c = __crc32cd(c, word);
+    p += 8;
+    n -= 8;
+  }
+  while (n-- > 0) {
+    c = __crc32cb(c, *p++);
+  }
+  return c ^ 0xffffffffu;
+}
+
+bool HardwareAvailable() { return true; }
+
+#else
+
+uint32_t Crc32cHw(const void* data, size_t n, uint32_t seed) {
+  return CastagnoliTable().Run(data, n, seed);
+}
+
+bool HardwareAvailable() { return false; }
+
+#endif
 
 }  // namespace
 
 uint32_t Crc32(const void* data, size_t n, uint32_t seed) {
-  const auto* p = static_cast<const uint8_t*>(data);
-  uint32_t c = seed ^ 0xffffffffu;
-  const Crc32Table& table = Table();
-  for (size_t i = 0; i < n; ++i) {
-    c = table.t[(c ^ p[i]) & 0xffu] ^ (c >> 8);
-  }
-  return c ^ 0xffffffffu;
+  return IsoHdlcTable().Run(data, n, seed);
+}
+
+uint32_t Crc32cSoftware(const void* data, size_t n, uint32_t seed) {
+  return CastagnoliTable().Run(data, n, seed);
+}
+
+bool Crc32cHardwareAvailable() { return HardwareAvailable(); }
+
+uint32_t Crc32c(const void* data, size_t n, uint32_t seed) {
+  return HardwareAvailable() ? Crc32cHw(data, n, seed)
+                             : CastagnoliTable().Run(data, n, seed);
 }
 
 }  // namespace calcdb

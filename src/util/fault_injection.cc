@@ -31,6 +31,9 @@ constexpr FaultPointInfo kRegistry[] = {
     {"ckpt_file.body",
      "CheckpointFileWriter::Append/AppendTombstone, before an entry is "
      "appended"},
+    {"ckpt_file.block",
+     "CheckpointFileWriter::WriteBlock, before a sealed serialization "
+     "block is appended to the file (the I/O thread in async mode)"},
     {"ckpt_file.footer",
      "CheckpointFileWriter::Finish, before the footer is appended"},
     {"ckpt_file.fsync",

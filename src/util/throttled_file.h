@@ -1,6 +1,7 @@
 #ifndef CALCDB_UTIL_THROTTLED_FILE_H_
 #define CALCDB_UTIL_THROTTLED_FILE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <cstdio>
 #include <memory>
@@ -38,13 +39,47 @@ class TokenBucket {
 
   uint64_t rate_bytes_per_sec() const { return rate_; }
 
+  /// Total bytes ever charged through Consume(), across all sharers and
+  /// including unmetered buckets. Lets tests assert that writers charge
+  /// each payload byte exactly once (no double-charge when small appends
+  /// are coalesced, no charge for direct-I/O tail padding).
+  uint64_t consumed() const {
+    return consumed_.load(std::memory_order_relaxed);
+  }
+
  private:
   const uint64_t rate_;
   const double burst_;  // max stored credit, in bytes (~10ms of rate)
 
+  std::atomic<uint64_t> consumed_{0};
+
   SpinLatch latch_;
   double tokens_ CALCDB_GUARDED_BY(latch_) = 0;
   int64_t last_refill_us_ CALCDB_GUARDED_BY(latch_) = 0;
+};
+
+/// How a ThrottledFileWriter opens its file. The two-argument Open
+/// overloads cover the common cases; this struct is for callers that
+/// need the full set (the checkpoint fast path).
+struct WriterOpenOptions {
+  /// Shared bandwidth budget; null means unthrottled.
+  std::shared_ptr<TokenBucket> budget;
+
+  /// Fail if the file already exists (O_CREAT|O_EXCL semantics) instead
+  /// of truncating it — the command-log streamer's guarantee that an
+  /// existing generation can never be clobbered.
+  bool exclusive = false;
+
+  /// Bypass the page cache with O_DIRECT. Appends are staged into an
+  /// aligned buffer and issued as large aligned write(2) calls that
+  /// genuinely block until the device accepts them — which is what lets
+  /// an async checkpoint writer overlap serialization with storage even
+  /// on a single core (buffered writes just memcpy into the page cache
+  /// and return). The unaligned tail is padded, written, and trimmed
+  /// back with ftruncate at Close(); Sync() only covers the aligned
+  /// prefix, so the durability barrier in this mode is Close(). Falls
+  /// back to buffered I/O when the filesystem rejects O_DIRECT (tmpfs).
+  bool direct_io = false;
 };
 
 /// A buffered sequential file writer with an optional token-bucket
@@ -61,6 +96,11 @@ class TokenBucket {
 /// Several writers opened against the same TokenBucket share one budget:
 /// the configured rate caps their combined output (this is how parallel
 /// checkpoint segment writers keep `--ckpt_write_mb_s` an aggregate cap).
+///
+/// Appends below an internal threshold are coalesced into a staging
+/// buffer and charged against the budget once, when the buffer drains —
+/// so a record serialized as four tiny appends costs one token charge
+/// and one stdio write, not four.
 class ThrottledFileWriter {
  public:
   ThrottledFileWriter() = default;
@@ -76,35 +116,54 @@ class ThrottledFileWriter {
 
   /// Opens (creates/truncates) `path`, drawing bandwidth from `budget`,
   /// which may be shared with other writers. A null budget means
-  /// unthrottled. With `exclusive`, the open fails if `path` already
-  /// exists instead of truncating it (O_CREAT|O_EXCL semantics) — the
-  /// command-log streamer's guarantee that an existing generation can
-  /// never be clobbered.
+  /// unthrottled.
   [[nodiscard]] Status Open(const std::string& path,
                             std::shared_ptr<TokenBucket> budget,
                             bool exclusive = false);
 
+  /// Full-control open; see WriterOpenOptions.
+  [[nodiscard]] Status Open(const std::string& path,
+                            WriterOpenOptions options);
+
   /// Appends `n` bytes, blocking as needed to respect the bandwidth cap.
   [[nodiscard]] Status Append(const void* data, size_t n);
 
-  /// Flushes buffered data to the OS.
+  /// Drains the staging buffer and flushes buffered data to the OS. In
+  /// direct mode only the aligned prefix of the stage can be issued; the
+  /// tail drains at Close().
   [[nodiscard]] Status Flush();
 
   /// Flushes and fsyncs, keeping the file open: the durability barrier
-  /// the command-log streamer issues after every batch.
+  /// the command-log streamer issues after every batch. (In direct mode
+  /// the unaligned tail is not yet on the device — use Close().)
   [[nodiscard]] Status Sync();
 
   /// Flushes, fsyncs and closes. Safe to call twice.
   [[nodiscard]] Status Close();
 
+  /// Logical bytes accepted by Append() (excludes direct-I/O padding).
   uint64_t bytes_written() const { return bytes_written_; }
-  bool is_open() const { return file_ != nullptr; }
+  bool is_open() const { return file_ != nullptr || fd_ >= 0; }
 
  private:
+  // Charges the budget in <=64KiB chunks so large drains do not overdraw
+  // the bucket in one go (keeps the emitted rate smooth at fine scales).
+  void ConsumeChunked(size_t n);
+  // Writes stage_[0..stage_len_) out (charging tokens) and resets it. In
+  // direct mode the stage is only ever full here, hence aligned.
+  [[nodiscard]] Status DrainStage();
+  // Raw fd write loop handling EINTR and short writes (direct mode).
+  [[nodiscard]] Status WriteFd(const uint8_t* p, size_t n);
+
   std::FILE* file_ = nullptr;
+  int fd_ = -1;  // direct mode only; -1 otherwise
   std::string path_;
   uint64_t bytes_written_ = 0;
   std::shared_ptr<TokenBucket> budget_;
+
+  uint8_t* stage_ = nullptr;  // aligned iff direct mode
+  size_t stage_cap_ = 0;
+  size_t stage_len_ = 0;
 };
 
 /// Buffered sequential reader matching ThrottledFileWriter output. Reads
@@ -117,7 +176,12 @@ class SequentialFileReader {
   SequentialFileReader(const SequentialFileReader&) = delete;
   SequentialFileReader& operator=(const SequentialFileReader&) = delete;
 
-  [[nodiscard]] Status Open(const std::string& path);
+  /// Opens `path`. A nonzero `read_ahead_bytes` sizes the stdio buffer,
+  /// so a stream of tiny ReadExact calls costs one read(2) syscall per
+  /// `read_ahead_bytes` of file instead of one per BUFSIZ; 0 keeps the
+  /// libc default.
+  [[nodiscard]] Status Open(const std::string& path,
+                            size_t read_ahead_bytes = 0);
 
   /// Reads exactly `n` bytes. Returns IOError on short read / EOF.
   [[nodiscard]] Status ReadExact(void* out, size_t n);
@@ -133,6 +197,7 @@ class SequentialFileReader {
  private:
   std::FILE* file_ = nullptr;
   uint64_t bytes_read_ = 0;
+  char* read_ahead_buf_ = nullptr;  // owned; freed after fclose
 };
 
 }  // namespace calcdb

@@ -275,6 +275,7 @@ const MatrixEntry kMatrix[] = {
     {"ckpt_file.header", 1, "calc", 1, 0},
     {"ckpt_file.body", 1, "calc", 1, 0},
     {"ckpt_file.body", 100, "calc", 1, 0},
+    {"ckpt_file.block", 1, "calc", 1, 0},
     {"ckpt_file.footer", 2, "calc", 1, 0},
     {"ckpt_file.fsync", 2, "calc", 1, 0},
     {"ckpt.segment.finish", 1, "calc", 2, 0},

@@ -131,9 +131,9 @@ class FaultInjectionTest : public ::testing::Test {
 /// a failed write would claim durability it does not have.
 TEST_F(FaultInjectionTest, CheckpointIoErrorsPropagate) {
   const char* points[] = {
-      "ckpt_file.header", "ckpt_file.body",  "ckpt_file.footer",
-      "ckpt_file.fsync",  "ckpt.register",   "manifest.write",
-      "manifest.rename",
+      "ckpt_file.header", "ckpt_file.body",  "ckpt_file.block",
+      "ckpt_file.footer", "ckpt_file.fsync", "ckpt.register",
+      "manifest.write",   "manifest.rename",
   };
   for (const char* point : points) {
     SCOPED_TRACE(point);
@@ -159,6 +159,54 @@ TEST_F(FaultInjectionTest, SegmentFinishErrorPropagates) {
   std::unique_ptr<Database> db;
   OpenBankDb(dir, &db, CheckpointAlgorithm::kCalc, /*capture_threads=*/2);
   fault::ArmError("ckpt.segment.finish");
+  Status st = db->Checkpoint();
+  ASSERT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsIOError()) << st.ToString();
+  EXPECT_TRUE(db->Checkpoint().ok());
+}
+
+/// An error hit on the async writer's I/O thread must travel through
+/// `io_status_` and surface from Finish() on the capture thread. With the
+/// default 256 KiB block size nothing is sealed before Finish, so the
+/// fault deterministically fires on the I/O thread, not inline.
+TEST_F(FaultInjectionTest, AsyncWriterIoErrorSurfacesFromFinish) {
+  TempDir dir;
+  std::string path = dir.path() + "/async_ckpt";
+  CheckpointWriterOptions writer_options;
+  writer_options.async_io = true;
+  CheckpointFileWriter writer;
+  ASSERT_TRUE(
+      writer.Open(path, CheckpointType::kFull, 1, 0, writer_options).ok());
+  fault::ArmError("ckpt_file.block");
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(writer.Append(static_cast<uint64_t>(i), "value").ok());
+  }
+  Status st = writer.Finish();
+  ASSERT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsIOError()) << st.ToString();
+  EXPECT_NE(st.ToString().find("injected fault"), std::string::npos)
+      << st.ToString();
+}
+
+/// Same fault, but through the full checkpoint path with async I/O on:
+/// the Checkpoint() caller sees the error and the next cycle recovers.
+TEST_F(FaultInjectionTest, AsyncCheckpointIoErrorPropagates) {
+  TempDir dir;
+  std::unique_ptr<Database> db;
+  {
+    Options options;
+    options.max_records = 128;
+    options.algorithm = CheckpointAlgorithm::kCalc;
+    options.checkpoint_dir = dir.path() + "/ckpt";
+    options.disk_bytes_per_sec = 0;
+    options.capture_threads = 1;
+    options.ckpt_async_io = 1;
+    ASSERT_TRUE(Database::Open(options, &db).ok());
+    db->registry()->Register(std::make_unique<TransferProcedure>());
+    ASSERT_TRUE(SetupBank(db.get(), 16).ok());
+    ASSERT_TRUE(db->Start().ok());
+  }
+  fault::ArmError("ckpt_file.block");
   Status st = db->Checkpoint();
   ASSERT_FALSE(st.ok());
   EXPECT_TRUE(st.IsIOError()) << st.ToString();

@@ -10,6 +10,8 @@
 #include <vector>
 
 #include "gtest/gtest.h"
+#include "obs/event_log.h"
+#include "obs/obs.h"
 #include "tests/test_util.h"
 #include "workload/microbench.h"
 
@@ -119,6 +121,21 @@ TEST(RecoveryRobustnessTest, CorruptRegisteredCheckpointFailsLoudly) {
   ASSERT_TRUE(Database::Open(options, &recovered).ok());
   RecoveryStats stats;
   EXPECT_TRUE(recovered->Recover(nullptr, &stats).IsCorruption());
+
+#if CALCDB_OBS_ENABLED
+  // The reader must leave an operator-visible trace: a ckpt.crc_mismatch
+  // ERROR event naming the corrupt file, not just a Status return.
+  bool found = false;
+  for (const obs::Event& ev : obs::EventLog::Global().ring().Snapshot()) {
+    if (ev.name != nullptr &&
+        std::string(ev.name) == "ckpt.crc_mismatch" &&
+        std::string(ev.detail).find(ckpt_path) != std::string::npos) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found)
+      << "expected a ckpt.crc_mismatch event naming " << ckpt_path;
+#endif
 }
 
 // A registered segmented checkpoint with one torn segment is a crash

@@ -7,6 +7,8 @@
 #include <memory>
 #include <string>
 
+#include <sys/stat.h>
+
 #include "checkpoint/ckpt_file.h"
 #include "checkpoint/ckpt_storage.h"
 #include "db/database.h"
@@ -93,6 +95,13 @@ class TempDir {
  private:
   std::string path_;
 };
+
+/// Size in bytes of `path`; 0 when the file cannot be stat'ed.
+inline uint64_t FileSize(const std::string& path) {
+  struct ::stat st;
+  if (::stat(path.c_str(), &st) != 0) return 0;
+  return static_cast<uint64_t>(st.st_size);
+}
 
 using StateMap = std::map<uint64_t, std::string>;
 

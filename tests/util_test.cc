@@ -368,5 +368,52 @@ TEST(Crc32Test, DetectsCorruption) {
   EXPECT_NE(Crc32(data.data(), data.size()), crc);
 }
 
+TEST(Crc32cTest, KnownVector) {
+  // CRC-32C (Castagnoli) of "123456789" is 0xE3069283.
+  EXPECT_EQ(Crc32c("123456789", 9), 0xE3069283u);
+  EXPECT_EQ(Crc32cSoftware("123456789", 9), 0xE3069283u);
+}
+
+TEST(Crc32cTest, SeedChaining) {
+  const char* data = "hello world";
+  uint32_t whole = Crc32c(data, 11);
+  uint32_t part = Crc32c(data, 5);
+  part = Crc32c(data + 5, 6, part);
+  EXPECT_EQ(whole, part);
+  uint32_t sw = Crc32cSoftware(data, 5);
+  sw = Crc32cSoftware(data + 5, 6, sw);
+  EXPECT_EQ(whole, sw);
+}
+
+// The runtime CPU dispatch must be invisible: the hardware path (when
+// this machine has one) and the portable slice-by-8 tables agree on
+// every length class the 8-byte-stride kernel can see — empty input,
+// sub-stride tails of 1..7 bytes, exact multiples, and buffers at odd
+// alignments (entry fields in serialized blocks are unaligned).
+TEST(Crc32cTest, HardwareMatchesSoftwareOnRandomBuffers) {
+  Rng rng(20260808);
+  const size_t lengths[] = {0,  1,  2,   3,   7,    8,    9,     15,
+                            16, 17, 63,  64,  65,   255,  256,   257,
+                            1000, 4096, 65536, 65543};
+  for (size_t len : lengths) {
+    std::vector<uint8_t> buf(len + 8);
+    for (auto& b : buf) b = static_cast<uint8_t>(rng.Next());
+    for (size_t align = 0; align < 8; align += 3) {
+      uint32_t hw = Crc32c(buf.data() + align, len, 0x1234);
+      uint32_t sw = Crc32cSoftware(buf.data() + align, len, 0x1234);
+      EXPECT_EQ(hw, sw) << "len=" << len << " align=" << align;
+    }
+  }
+}
+
+TEST(Crc32cTest, PolynomialsDiffer) {
+  // The two checksum kinds must never validate each other's files.
+  const char* data = "0123456789abcdef";
+  EXPECT_NE(Crc32(data, 16), Crc32c(data, 16));
+  EXPECT_EQ(ChecksumRun(ChecksumKind::kCrc32, data, 16), Crc32(data, 16));
+  EXPECT_EQ(ChecksumRun(ChecksumKind::kCrc32c, data, 16),
+            Crc32c(data, 16));
+}
+
 }  // namespace
 }  // namespace calcdb
