@@ -1,0 +1,229 @@
+// Recovery-time experiment (extension of the paper's §5 recovery
+// discussion): deterministic command-log replay cost vs replay thread
+// count, on conflict-light and conflict-heavy logs.
+//
+// The paper recovers by loading the latest complete checkpoint and
+// re-executing the command log; replay is CPU-bound (no locks, no
+// logging on the replay path), so a dependency-aware scheduler should
+// scale replay with cores until footprints collide. This harness:
+//
+//   1. builds an in-memory command log of RMW transactions
+//      (conflict-light: uniform keys over the whole store;
+//      conflict-heavy: every transaction also touches one hot key,
+//      serializing the entire stream through the ticket rule),
+//   2. replays it into a freshly seeded store at each thread count,
+//   3. cross-checks every parallel final state against the serial one
+//      (byte-identical, the scheduler's contract), and
+//   4. emits BENCH_recovery.json with a speedup_4t summary.
+//
+// Single-core caveat: on a 1-core host the sweep measures scheduler
+// overhead, not speedup — see EXPERIMENTS.md "Recovery time" for the
+// expected shapes at scale.
+//
+// Flags: --records --txns --ops --thread_sweep=1,2,4
+//        --json_out=BENCH_recovery.json
+
+#include "bench/bench_common.h"
+#include "util/rng.h"
+
+using namespace calcdb;
+using namespace calcdb::bench;
+
+namespace {
+
+constexpr size_t kValueSize = 64;
+
+struct ReplayRow {
+  std::string workload;
+  uint64_t txns = 0;
+  int replay_threads = 0;
+  double replay_s = 0;
+  uint64_t conflicts = 0;
+  uint64_t fallbacks = 0;
+  bool verified = false;
+};
+
+std::map<uint64_t, std::string> StoreToMap(const KVStore& store) {
+  std::map<uint64_t, std::string> out;
+  for (uint32_t idx = 0; idx < store.NumSlots(); ++idx) {
+    Record* rec = store.ByIndex(idx);
+    if (rec == nullptr || rec->key == ~uint64_t{0}) continue;
+    std::string value;
+    if (store.Get(rec->key, &value).ok()) out[rec->key] = std::move(value);
+  }
+  return out;
+}
+
+/// Builds a log of `txns` RMW commands. Conflict-heavy logs touch hot
+/// key 0 in every transaction, so every adjacent pair conflicts and the
+/// ticket rule degrades replay to (roughly) serial — the adversarial
+/// bound for the scheduler.
+void BuildLog(CommitLog* log, uint64_t txns, uint64_t records, int ops,
+              bool conflict_heavy, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<uint64_t> keys(static_cast<size_t>(ops));
+  for (uint64_t t = 0; t < txns; ++t) {
+    for (auto& k : keys) k = rng.Uniform(records);
+    if (conflict_heavy) keys[0] = 0;
+    log->AppendCommit(t + 1, kRmwProcId,
+                      RmwProcedure::MakeArgs(
+                          keys.data(), static_cast<uint32_t>(keys.size())));
+  }
+}
+
+std::unique_ptr<KVStore> SeedStore(uint64_t records) {
+  auto store = std::make_unique<KVStore>(records + 64);
+  for (uint64_t k = 0; k < records; ++k) {
+    Status st = store->Put(k, MicrobenchInitialValue(k, kValueSize));
+    if (!st.ok()) {
+      std::fprintf(stderr, "seed failed: %s\n", st.ToString().c_str());
+      std::exit(1);
+    }
+  }
+  return store;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  uint64_t records = static_cast<uint64_t>(flags.Int("records", 100000));
+  uint64_t txns = static_cast<uint64_t>(flags.Int("txns", 150000));
+  int ops = static_cast<int>(flags.Int("ops", 8));
+
+  std::vector<int> sweep;
+  {
+    std::string list = flags.Str("thread_sweep", "1,2,4");
+    size_t pos = 0;
+    while (pos < list.size()) {
+      size_t comma = list.find(',', pos);
+      if (comma == std::string::npos) comma = list.size();
+      int n = std::atoi(list.substr(pos, comma - pos).c_str());
+      if (n > 0) sweep.push_back(n);
+      pos = comma + 1;
+    }
+  }
+
+  std::printf("=== Figure 9 (extension): replay time vs replay threads "
+              "===\n");
+  std::printf("%llu records x %dB, logs of %llu RMW txns (%d ops each), "
+              "thread sweep:",
+              static_cast<unsigned long long>(records),
+              static_cast<int>(kValueSize),
+              static_cast<unsigned long long>(txns), ops);
+  for (int n : sweep) std::printf(" %d", n);
+  std::printf("\nhost cores: %u\n", std::thread::hardware_concurrency());
+
+  ProcedureRegistry registry;
+  registry.Register(std::make_unique<RmwProcedure>(kValueSize));
+
+  std::vector<ReplayRow> rows;
+  double speedup_light = 0, speedup_heavy = 0;
+
+  for (bool heavy : {false, true}) {
+    const char* name = heavy ? "conflict_heavy" : "conflict_light";
+    CommitLog log;
+    BuildLog(&log, txns, records, ops, heavy, /*seed=*/7);
+
+    // Serial ground truth, also the timing baseline.
+    std::map<uint64_t, std::string> serial_state;
+    double serial_s = 0;
+    for (int threads : sweep) {
+      std::printf("replaying %s @ %d thread(s)...\n", name, threads);
+      std::fflush(stdout);
+      std::unique_ptr<KVStore> store = SeedStore(records);
+      RecoveryStats stats;
+      Status st = RecoveryManager::ReplayLog(log, registry, store.get(),
+                                             &stats, threads);
+      if (!st.ok()) {
+        std::fprintf(stderr, "replay failed: %s\n", st.ToString().c_str());
+        return 1;
+      }
+      ReplayRow row;
+      row.workload = name;
+      row.txns = txns;
+      row.replay_threads = threads;
+      row.replay_s = static_cast<double>(stats.replay_micros) / 1e6;
+      row.conflicts = stats.replay_conflicts;
+      row.fallbacks = stats.replay_serial_fallbacks;
+      std::map<uint64_t, std::string> state = StoreToMap(*store);
+      if (threads == 1) {
+        serial_state = std::move(state);
+        serial_s = row.replay_s;
+        row.verified = true;  // serial IS the ground truth
+      } else {
+        row.verified = state == serial_state;
+        if (!row.verified) {
+          std::fprintf(stderr,
+                       "STATE MISMATCH: %s at %d threads diverged from "
+                       "serial replay\n",
+                       name, threads);
+          return 1;
+        }
+      }
+      if (threads == 4 && serial_s > 0 && row.replay_s > 0) {
+        (heavy ? speedup_heavy : speedup_light) =
+            serial_s / row.replay_s;
+      }
+      rows.push_back(row);
+    }
+  }
+
+  std::printf("\n--- replay duration vs replay_threads ---\n");
+  std::printf("%-16s %8s %10s %12s %12s %10s %9s\n", "workload", "txns",
+              "threads", "replay_s", "conflicts", "fallbacks", "verified");
+  for (const ReplayRow& row : rows) {
+    std::printf("%-16s %8llu %10d %12.3f %12llu %10llu %9s\n",
+                row.workload.c_str(),
+                static_cast<unsigned long long>(row.txns),
+                row.replay_threads, row.replay_s,
+                static_cast<unsigned long long>(row.conflicts),
+                static_cast<unsigned long long>(row.fallbacks),
+                row.verified ? "yes" : "NO");
+  }
+  std::printf("\nspeedup at 4 threads: conflict_light %.2fx, "
+              "conflict_heavy %.2fx\n",
+              speedup_light, speedup_heavy);
+  std::printf("expected shape (multi-core): conflict_light scales toward "
+              "the core count; conflict_heavy stays near 1x — every "
+              "command funnels through the hot key's ticket.\n");
+
+  std::string json_path = flags.Str("json_out", "BENCH_recovery.json");
+  if (json_path != "none" && !json_path.empty()) {
+    std::FILE* jf = std::fopen(json_path.c_str(), "w");
+    if (jf == nullptr) {
+      std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
+    } else {
+      std::fprintf(jf,
+                   "{\n  \"bench\": \"fig9_recovery\",\n"
+                   "  \"records\": %llu,\n  \"host_cores\": %u,\n"
+                   "  \"rows\": [\n",
+                   static_cast<unsigned long long>(records),
+                   std::thread::hardware_concurrency());
+      for (size_t i = 0; i < rows.size(); ++i) {
+        std::fprintf(
+            jf,
+            "    {\"workload\": \"%s\", \"txns\": %llu, "
+            "\"replay_threads\": %d, \"replay_s\": %.6f, "
+            "\"conflicts\": %llu, \"fallbacks\": %llu, "
+            "\"verified\": %s}%s\n",
+            rows[i].workload.c_str(),
+            static_cast<unsigned long long>(rows[i].txns),
+            rows[i].replay_threads, rows[i].replay_s,
+            static_cast<unsigned long long>(rows[i].conflicts),
+            static_cast<unsigned long long>(rows[i].fallbacks),
+            rows[i].verified ? "true" : "false",
+            i + 1 < rows.size() ? "," : "");
+      }
+      std::fprintf(jf,
+                   "  ],\n  \"speedup_4t\": {\"conflict_light\": %.4f, "
+                   "\"conflict_heavy\": %.4f}\n}\n",
+                   speedup_light, speedup_heavy);
+      std::fclose(jf);
+      std::printf("\nresults json: %s\n", json_path.c_str());
+    }
+  }
+
+  ExportObsArtifacts(flags, "fig9_recovery");
+  return 0;
+}

@@ -114,6 +114,11 @@ int Database::ResolvedRecoveryThreads(const Options& options) {
                              ResolvedCaptureThreads(options));
 }
 
+int Database::ResolvedReplayThreads(const Options& options) {
+  return ResolveThreadOption(options.replay_threads,
+                             "CALCDB_REPLAY_THREADS", 1);
+}
+
 bool Database::ResolvedAsyncIo(const Options& options) {
   if (options.ckpt_async_io != 0) return options.ckpt_async_io > 0;
   const char* env = std::getenv("CALCDB_CKPT_ASYNC_IO");
@@ -223,7 +228,8 @@ Status Database::Recover(const CommitLog* replay_log,
       &ckpt_storage_, store_.get(), s, ResolvedRecoveryThreads(options_)));
   if (replay_log != nullptr) {
     CALCDB_RETURN_NOT_OK(
-        RecoveryManager::ReplayLog(*replay_log, registry_, store_.get(), s));
+        RecoveryManager::ReplayLog(*replay_log, registry_, store_.get(), s,
+                                   ResolvedReplayThreads(options_)));
   }
   return Status::OK();
 }
@@ -245,8 +251,9 @@ Status Database::RecoverFromCommandLog(RecoveryStats* stats) {
   std::vector<std::string> generations;
   CALCDB_RETURN_NOT_OK(CommandLogStreamer::ListLogFiles(
       options_.command_log_path, &generations));
-  return RecoveryManager::ReplayLogGenerations(generations, registry_,
-                                               store_.get(), s);
+  return RecoveryManager::ReplayLogGenerations(
+      generations, registry_, store_.get(), s,
+      ResolvedReplayThreads(options_), options_.log_read_ahead_bytes);
 }
 
 Status Database::WriteBaseCheckpoint() {

@@ -139,11 +139,13 @@ class Database {
   const Options& options() const { return options_; }
   bool started() const { return started_; }
 
-  /// Resolves Options::capture_threads / recovery_threads, applying the
-  /// 0 = auto rule (CALCDB_CAPTURE_THREADS / CALCDB_RECOVERY_THREADS
-  /// environment variables, else 1).
+  /// Resolves Options::capture_threads / recovery_threads /
+  /// replay_threads, applying the 0 = auto rule (CALCDB_CAPTURE_THREADS /
+  /// CALCDB_RECOVERY_THREADS / CALCDB_REPLAY_THREADS environment
+  /// variables, else 1).
   static int ResolvedCaptureThreads(const Options& options);
   static int ResolvedRecoveryThreads(const Options& options);
+  static int ResolvedReplayThreads(const Options& options);
 
   /// Resolves Options::ckpt_async_io, applying the 0 = auto rule (on iff
   /// the CALCDB_CKPT_ASYNC_IO environment variable is a positive

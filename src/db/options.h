@@ -102,6 +102,19 @@ struct Options {
   /// much parallelism as wrote them).
   int recovery_threads = 0;
 
+  /// Command-log replay worker threads (recovery). Commands whose
+  /// declared key footprints are disjoint replay concurrently under the
+  /// ticket dependency rule (recovery/replay_scheduler.h); the final
+  /// state is byte-identical to serial replay. 1 keeps the legacy
+  /// strictly-serial replay loop. 0 means auto: the
+  /// CALCDB_REPLAY_THREADS environment variable if set, else 1.
+  int replay_threads = 0;
+
+  /// Read-ahead buffer for command-log generation decode during
+  /// recovery (same SequentialFileReader mechanism as
+  /// ckpt_read_ahead_bytes). 0 keeps the libc default buffer.
+  size_t log_read_ahead_bytes = 1 << 20;
+
   /// Pre-allocate/recycle stable-record memory from a pool (paper §5.1.6).
   bool use_value_pool = true;
 

@@ -62,6 +62,15 @@ uint64_t CommitLog::Size() const {
   return entries_.size();
 }
 
+uint64_t CommitLog::CommitCount() const {
+  SpinLatchGuard guard(latch_);
+  uint64_t n = 0;
+  for (const LogEntry& e : entries_) {
+    if (e.type == LogEntry::Type::kCommit) ++n;
+  }
+  return n;
+}
+
 LogEntry CommitLog::Entry(uint64_t lsn) const {
   SpinLatchGuard guard(latch_);
   return entries_.at(lsn);
@@ -138,9 +147,10 @@ Status CommitLog::PersistTo(const std::string& path) const {
   return writer.Close();
 }
 
-Status CommitLog::LoadFrom(const std::string& path) {
+Status CommitLog::LoadFrom(const std::string& path,
+                           size_t read_ahead_bytes) {
   SequentialFileReader reader;
-  CALCDB_RETURN_NOT_OK(reader.Open(path));
+  CALCDB_RETURN_NOT_OK(reader.Open(path, read_ahead_bytes));
   std::deque<LogEntry> loaded;
   while (!reader.AtEof()) {
     // A torn final entry (crash mid-append while streaming) manifests as

@@ -98,6 +98,11 @@ class CommitLog {
   /// Number of entries.
   uint64_t Size() const;
 
+  /// Number of commit entries (excludes phase-transition tokens) — the
+  /// size of the full replay set. Recovery uses it for per-generation
+  /// replayed/skipped accounting.
+  uint64_t CommitCount() const;
+
   /// Copy of entry at `lsn` (test/recovery use; not on the hot path).
   LogEntry Entry(uint64_t lsn) const;
 
@@ -124,9 +129,14 @@ class CommitLog {
   /// recovery can replay across a process restart.
   [[nodiscard]] Status PersistTo(const std::string& path) const;
 
-  /// Loads entries from a file previously written by PersistTo, replacing
-  /// current contents.
-  [[nodiscard]] Status LoadFrom(const std::string& path);
+  /// Loads entries from a file previously written by PersistTo (or
+  /// streamed by CommandLogStreamer), replacing current contents. A
+  /// nonzero `read_ahead_bytes` sizes the decoder's read-ahead buffer
+  /// (SequentialFileReader) so generation decode during recovery issues
+  /// one read(2) per buffer instead of one per BUFSIZ; 0 keeps the libc
+  /// default.
+  [[nodiscard]] Status LoadFrom(const std::string& path,
+                                size_t read_ahead_bytes = 0);
 
  private:
   mutable SpinLatch latch_;

@@ -8,12 +8,8 @@
 #include <utility>
 #include <vector>
 
-#include "checkpoint/admission_gate.h"
-#include "checkpoint/checkpointer.h"
-#include "checkpoint/phase.h"
 #include "obs/obs.h"
-#include "txn/executor.h"
-#include "txn/lock_manager.h"
+#include "recovery/replay_scheduler.h"
 #include "util/clock.h"
 
 namespace calcdb {
@@ -92,51 +88,6 @@ Status ApplyCheckpointFile(const std::string& path,
   entries_applied->fetch_add(applied, std::memory_order_relaxed);
   return st;
 }
-
-/// Minimal engine plumbing for serial command replay: a scratch log (the
-/// replayed transactions' own commits are discarded), no checkpointer,
-/// a single-stripe lock manager.
-class SerialReplayer {
- public:
-  SerialReplayer(const ProcedureRegistry& registry, KVStore* store) {
-    engine_.store = store;
-    engine_.log = &scratch_log_;
-    engine_.phases = &phases_;
-    engine_.gate = &gate_;
-    engine_.ckpt_storage = nullptr;
-    none_ = std::make_unique<NoCheckpointer>(engine_);
-    executor_ =
-        std::make_unique<Executor>(engine_, &registry, none_.get(), &locks_);
-  }
-
-  Status Replay(const std::vector<LogEntry>& commits, RecoveryStats* stats) {
-    CALCDB_TRACE_SPAN(replay_span, "replay_log", "recovery", commits.size());
-    for (const LogEntry& entry : commits) {
-      CALCDB_RETURN_NOT_OK(executor_->Replay(entry.proc_id, entry.args));
-      ++stats->txns_replayed;
-      CALCDB_COUNTER_ADD("calcdb.recovery.txns_replayed", 1);
-      // Framed commit size: len + crc + type + txn_id + proc_id +
-      // args_len + args (matches CommitLog::EncodeEntry).
-      CALCDB_COUNTER_ADD("calcdb.recovery.log_read_bytes",
-                         4 + 4 + 1 + 8 + 4 + 4 + entry.args.size());
-      // Batch markers let a trace show replay progress over time.
-      if ((stats->txns_replayed & 8191) == 0) {
-        CALCDB_TRACE_INSTANT("replay_batch", "recovery",
-                             stats->txns_replayed);
-      }
-    }
-    return Status::OK();
-  }
-
- private:
-  CommitLog scratch_log_;
-  PhaseController phases_;
-  AdmissionGate gate_;
-  EngineContext engine_;
-  std::unique_ptr<NoCheckpointer> none_;
-  LockManager locks_{1};
-  std::unique_ptr<Executor> executor_;
-};
 
 }  // namespace
 
@@ -217,9 +168,10 @@ Status RecoveryManager::LoadCheckpoints(CheckpointStorage* storage,
 
 Status RecoveryManager::ReplayLog(const CommitLog& log,
                                   const ProcedureRegistry& registry,
-                                  KVStore* store, RecoveryStats* stats) {
+                                  KVStore* store, RecoveryStats* stats,
+                                  int replay_threads) {
   Stopwatch sw;
-  SerialReplayer replayer(registry, store);
+  ReplayScheduler replayer(registry, store, replay_threads);
   // With no checkpoint loaded, the whole log (from LSN 0) is the replay
   // set; otherwise replay strictly after the loaded point of consistency.
   std::vector<LogEntry> commits =
@@ -234,7 +186,8 @@ Status RecoveryManager::ReplayLog(const CommitLog& log,
 Status RecoveryManager::ReplayLogGenerations(
     const std::vector<std::string>& files,
     const ProcedureRegistry& registry, KVStore* store,
-    RecoveryStats* stats) {
+    RecoveryStats* stats, int replay_threads,
+    size_t log_read_ahead_bytes) {
   Stopwatch sw;
   // Load every generation up front: a generation that fails to load at
   // all is damage worth surfacing before any replay mutates the store
@@ -243,7 +196,7 @@ Status RecoveryManager::ReplayLogGenerations(
   logs.reserve(files.size());
   for (const std::string& file : files) {
     auto log = std::make_unique<CommitLog>();
-    CALCDB_RETURN_NOT_OK(log->LoadFrom(file));
+    CALCDB_RETURN_NOT_OK(log->LoadFrom(file, log_read_ahead_bytes));
     logs.push_back(std::move(log));
   }
 
@@ -279,23 +232,42 @@ Status RecoveryManager::ReplayLogGenerations(
                    {"checkpoint_id",
                     static_cast<int64_t>(stats->last_checkpoint_id)},
                    {"generations", static_cast<int64_t>(files.size())});
+      for (size_t i = 0; i < logs.size(); ++i) {
+        RecoveryStats::GenerationReplay gen;
+        gen.file = files[i];
+        gen.commits_total = logs[i]->CommitCount();
+        gen.skipped = gen.commits_total;
+        stats->generations.push_back(std::move(gen));
+      }
       stats->replay_micros = sw.ElapsedMicros();
       return Status::OK();
     }
   }
 
-  SerialReplayer replayer(registry, store);
+  ReplayScheduler replayer(registry, store, replay_threads);
   for (size_t i = 0; i < logs.size(); ++i) {
+    RecoveryStats::GenerationReplay gen;
+    gen.file = files[i];
+    gen.commits_total = logs[i]->CommitCount();
     std::vector<LogEntry> commits;
+    bool skip = false;
     if (stats->checkpoints_loaded == 0) {
       commits = logs[i]->CommitsFrom(0);  // no checkpoint: replay all
     } else if (i < anchor) {
-      continue;  // fully covered by the checkpoint chain
+      skip = true;  // fully covered by the checkpoint chain
     } else if (i == anchor) {
       commits = logs[i]->CommitsAfter(stats->replay_from_lsn);
     } else {
       commits = logs[i]->CommitsFrom(0);  // later lifetime: replay all
     }
+    gen.replayed = commits.size();
+    gen.skipped = gen.commits_total - gen.replayed;
+    CALCDB_EVENT("recovery.generation_replayed", "recovery", files[i],
+                 {"generation", static_cast<int64_t>(i)},
+                 {"replayed", static_cast<int64_t>(gen.replayed)},
+                 {"skipped", static_cast<int64_t>(gen.skipped)});
+    stats->generations.push_back(std::move(gen));
+    if (skip) continue;
     CALCDB_RETURN_NOT_OK(replayer.Replay(commits, stats));
     ++stats->log_generations_replayed;
   }
@@ -307,9 +279,9 @@ Status RecoveryManager::Recover(CheckpointStorage* storage,
                                 const CommitLog& log,
                                 const ProcedureRegistry& registry,
                                 KVStore* store, RecoveryStats* stats,
-                                int load_threads) {
+                                int load_threads, int replay_threads) {
   CALCDB_RETURN_NOT_OK(LoadCheckpoints(storage, store, stats, load_threads));
-  return ReplayLog(log, registry, store, stats);
+  return ReplayLog(log, registry, store, stats, replay_threads);
 }
 
 }  // namespace calcdb

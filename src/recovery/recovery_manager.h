@@ -16,6 +16,16 @@ namespace calcdb {
 /// Timing and size breakdown of a recovery (paper §5.1.3 measures the
 /// merge component of this as "recovery time").
 struct RecoveryStats {
+  /// Per-generation replay breakdown (ReplayLogGenerations): how many of
+  /// each generation file's commits were replayed vs. retired as covered
+  /// by the loaded checkpoint chain (the anchor rule).
+  struct GenerationReplay {
+    std::string file;
+    uint64_t commits_total = 0;
+    uint64_t replayed = 0;
+    uint64_t skipped = 0;
+  };
+
   uint64_t checkpoints_loaded = 0;
   uint64_t checkpoints_rejected = 0;  ///< torn (crash-artifact) checkpoints
   uint64_t segments_loaded = 0;       ///< checkpoint files applied
@@ -26,6 +36,17 @@ struct RecoveryStats {
   uint64_t replay_from_lsn = 0;
   uint64_t last_checkpoint_id = 0;  ///< id of the last applied checkpoint
   uint64_t log_generations_replayed = 0;
+
+  // Parallel replay (ReplayScheduler). With replay_threads = 1 these
+  // stay at their serial values: threads_used 1, no conflicts, no
+  // fallbacks, empty per-worker breakdown.
+  uint64_t replay_threads_used = 0;
+  uint64_t replay_conflicts = 0;  ///< commands ordered behind an earlier
+                                  ///< command's footprint (deterministic:
+                                  ///< counted at dispatch, not at wait)
+  uint64_t replay_serial_fallbacks = 0;  ///< undeclared-footprint commands
+  std::vector<uint64_t> replayed_per_worker;
+  std::vector<GenerationReplay> generations;
 };
 
 /// Recovery (paper §3): load the newest full checkpoint, apply every later
@@ -62,10 +83,16 @@ class RecoveryManager {
                                               int load_threads = 1);
 
   /// Replays committed transactions with LSN > stats->replay_from_lsn.
+  ///
+  /// `replay_threads > 1` replays with the parallel deterministic
+  /// scheduler (recovery/replay_scheduler.h): commands whose declared
+  /// key footprints are disjoint execute concurrently, conflicting
+  /// commands serialize in LSN order, and the final store state is
+  /// byte-identical to serial replay. 1 is the legacy serial loop.
   [[nodiscard]] static Status ReplayLog(const CommitLog& log,
                                         const ProcedureRegistry& registry,
-                                        KVStore* store,
-                                        RecoveryStats* stats);
+                                        KVStore* store, RecoveryStats* stats,
+                                        int replay_threads = 1);
 
   /// Replays a sequence of streamed command-log generation files (oldest
   /// first, as CommandLogStreamer::ListLogFiles returns them) on top of a
@@ -80,18 +107,28 @@ class RecoveryManager {
   /// persisted — since log appends are sequential, nothing after the
   /// token persisted either, and there is nothing to replay. With no
   /// checkpoints loaded every generation replays in full. See
-  /// docs/DURABILITY.md, "Composing recovery with streamed logs".
+  /// docs/DURABILITY.md, "Composing recovery with streamed logs", and
+  /// docs/RECOVERY.md for the full contract.
+  ///
+  /// `replay_threads` as in ReplayLog; the scheduler drains completely
+  /// at every generation boundary, so the anchor rule composes with
+  /// parallel replay unchanged. `log_read_ahead_bytes` sizes the
+  /// generation decoder's read-ahead buffer (0: libc default). Fills
+  /// stats->generations with the per-generation replayed/skipped
+  /// breakdown.
   [[nodiscard]] static Status ReplayLogGenerations(
       const std::vector<std::string>& files,
       const ProcedureRegistry& registry, KVStore* store,
-      RecoveryStats* stats);
+      RecoveryStats* stats, int replay_threads = 1,
+      size_t log_read_ahead_bytes = 0);
 
   /// LoadCheckpoints + ReplayLog.
   [[nodiscard]] static Status Recover(CheckpointStorage* storage,
                                       const CommitLog& log,
                                       const ProcedureRegistry& registry,
                                       KVStore* store, RecoveryStats* stats,
-                                      int load_threads = 1);
+                                      int load_threads = 1,
+                                      int replay_threads = 1);
 };
 
 }  // namespace calcdb

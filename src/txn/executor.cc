@@ -155,6 +155,20 @@ Status Executor::Execute(uint32_t proc_id, std::string args,
   return st;
 }
 
+Status Executor::ExtractFootprint(const ProcedureRegistry& registry,
+                                  uint32_t proc_id, std::string_view args,
+                                  KeySets* sets) {
+  const StoredProcedure* proc = registry.Find(proc_id);
+  if (proc == nullptr) {
+    return Status::InvalidArgument("unknown procedure id in replay");
+  }
+  sets->read_keys.clear();
+  sets->write_keys.clear();
+  sets->allow_undeclared_writes = false;
+  proc->GetKeys(args, sets);
+  return Status::OK();
+}
+
 Status Executor::Replay(uint32_t proc_id, std::string_view args) {
   const StoredProcedure* proc = registry_->Find(proc_id);
   if (proc == nullptr) {

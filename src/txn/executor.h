@@ -49,8 +49,21 @@ class Executor {
 
   /// Replays an already-committed command without checkpointer hooks or
   /// commit logging — the recovery path (paper §3.1). Must not run
-  /// concurrently with normal execution.
+  /// concurrently with normal execution. Concurrent Replay calls are
+  /// permitted ONLY when the caller guarantees that their key footprints
+  /// are disjoint (the ReplayScheduler's ticket rule); this path takes
+  /// no locks of its own.
   Status Replay(uint32_t proc_id, std::string_view args);
+
+  /// Computes a command's declared key footprint without acquiring any
+  /// locks or touching the store: a registry lookup plus GetKeys, which
+  /// is a pure function of `args`. `*sets` is cleared first. Returns
+  /// InvalidArgument for an unknown procedure id (same condition Replay
+  /// would hit). Safe to call from any thread — this is the dispatcher
+  /// side of parallel command replay.
+  [[nodiscard]] static Status ExtractFootprint(
+      const ProcedureRegistry& registry, uint32_t proc_id,
+      std::string_view args, KeySets* sets);
 
   uint64_t committed() const {
     return committed_.load(std::memory_order_relaxed);

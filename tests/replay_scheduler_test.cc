@@ -1,0 +1,421 @@
+// Parallel deterministic command replay (recovery/replay_scheduler.h):
+// the scheduler must produce byte-identical final state to serial replay
+// under every schedule — randomized conflict-prone workloads, an
+// adversarial all-one-hot-key stream that degenerates to serial, and
+// undeclared-footprint commands that force the serial fallback — while
+// replay_threads = 1 stays pinned to the legacy serial loop.
+
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "db/database.h"
+#include "gtest/gtest.h"
+#include "log/commit_log.h"
+#include "recovery/recovery_manager.h"
+#include "recovery/replay_scheduler.h"
+#include "storage/kv_store.h"
+#include "test_util.h"
+#include "txn/executor.h"
+#include "txn/procedure.h"
+#include "txn/txn_context.h"
+#include "util/rng.h"
+#include "workload/microbench.h"
+
+namespace calcdb {
+namespace {
+
+using testing_util::StateMap;
+using testing_util::TempDir;
+
+constexpr size_t kValueSize = 48;
+
+/// A procedure whose declared sets under-approximate its footprint: it
+/// declares (and writes) `key`, then also writes `key + 1` undeclared —
+/// the TPC-C NewOrder shape that must force the scheduler's serial
+/// fallback. Args: [u64 key][u64 salt].
+constexpr uint32_t kUndeclaredProcId = 77;
+class UndeclaredWriteProcedure : public StoredProcedure {
+ public:
+  uint32_t id() const override { return kUndeclaredProcId; }
+  const char* name() const override { return "undeclared_write"; }
+
+  void GetKeys(std::string_view args, KeySets* sets) const override {
+    uint64_t key;
+    std::memcpy(&key, args.data(), 8);
+    sets->write_keys.push_back(key);
+    sets->allow_undeclared_writes = true;
+  }
+
+  Status Run(TxnContext& ctx, std::string_view args) const override {
+    uint64_t key, salt;
+    std::memcpy(&key, args.data(), 8);
+    std::memcpy(&salt, args.data() + 8, 8);
+    std::string v = std::to_string(key * 31 + salt);
+    CALCDB_RETURN_NOT_OK(ctx.Write(key, v));
+    CALCDB_RETURN_NOT_OK(ctx.Write(key + 1, v + "+undeclared"));
+    return Status::OK();
+  }
+
+  static std::string MakeArgs(uint64_t key, uint64_t salt) {
+    std::string out(16, '\0');
+    std::memcpy(out.data(), &key, 8);
+    std::memcpy(out.data() + 8, &salt, 8);
+    return out;
+  }
+};
+
+std::unique_ptr<ProcedureRegistry> MakeRegistry() {
+  auto registry = std::make_unique<ProcedureRegistry>();
+  registry->Register(std::make_unique<RmwProcedure>(kValueSize));
+  registry->Register(std::make_unique<UndeclaredWriteProcedure>());
+  return registry;
+}
+
+/// Seeds a fresh store with the deterministic microbench content.
+std::unique_ptr<KVStore> SeedStore(uint64_t num_records,
+                                   uint64_t max_records = 4096) {
+  auto store = std::make_unique<KVStore>(max_records);
+  for (uint64_t k = 0; k < num_records; ++k) {
+    EXPECT_TRUE(
+        store->Put(k, MicrobenchInitialValue(k, kValueSize)).ok());
+  }
+  return store;
+}
+
+StateMap StoreToMap(const KVStore& store) {
+  StateMap out;
+  for (uint32_t idx = 0; idx < store.NumSlots(); ++idx) {
+    Record* rec = store.ByIndex(idx);
+    if (rec == nullptr || rec->key == ~uint64_t{0}) continue;
+    std::string value;
+    if (store.Get(rec->key, &value).ok()) out[rec->key] = std::move(value);
+  }
+  return out;
+}
+
+/// Appends `num_txns` RMW commands over random key sets drawn from
+/// [0, keyspace) — small keyspaces make footprint intersections common.
+void AppendRandomRmws(CommitLog* log, uint64_t num_txns, uint64_t keyspace,
+                      int ops_per_txn, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<uint64_t> keys;
+  for (uint64_t t = 0; t < num_txns; ++t) {
+    keys.clear();
+    for (int i = 0; i < ops_per_txn; ++i) {
+      keys.push_back(rng.Next() % keyspace);
+    }
+    log->AppendCommit(t + 1, kRmwProcId,
+                      RmwProcedure::MakeArgs(
+                          keys.data(), static_cast<uint32_t>(keys.size())));
+  }
+}
+
+/// Replays `log` into a fresh seeded store with `threads` workers,
+/// returning the final state and filling `*stats`.
+StateMap ReplayWith(const CommitLog& log, const ProcedureRegistry& registry,
+                    int threads, uint64_t num_records,
+                    RecoveryStats* stats) {
+  std::unique_ptr<KVStore> store = SeedStore(num_records);
+  EXPECT_TRUE(RecoveryManager::ReplayLog(log, registry, store.get(), stats,
+                                         threads)
+                  .ok());
+  return StoreToMap(*store);
+}
+
+// The core acceptance property: replay_threads = 4 must produce
+// byte-identical store contents to serial replay, and the same
+// txns_replayed, across randomized conflict-prone workloads.
+TEST(ReplayScheduler, SerialParallelEquivalenceRandomized) {
+  auto registry = MakeRegistry();
+  const uint64_t kRecords = 512;
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    CommitLog log;
+    uint64_t num_txns = 200 + seed * 170;
+    AppendRandomRmws(&log, num_txns, kRecords, 6, seed);
+
+    RecoveryStats serial_stats, parallel_stats;
+    StateMap serial =
+        ReplayWith(log, *registry, 1, kRecords, &serial_stats);
+    StateMap parallel =
+        ReplayWith(log, *registry, 4, kRecords, &parallel_stats);
+
+    ASSERT_EQ(serial, parallel) << "seed " << seed;
+    EXPECT_EQ(serial_stats.txns_replayed, num_txns);
+    EXPECT_EQ(parallel_stats.txns_replayed, num_txns);
+    EXPECT_EQ(serial_stats.replay_threads_used, 1u);
+    EXPECT_EQ(parallel_stats.replay_threads_used, 4u);
+    // Every command a worker replayed shows up in exactly one per-worker
+    // bucket.
+    uint64_t per_worker_sum = 0;
+    ASSERT_EQ(parallel_stats.replayed_per_worker.size(), 4u);
+    for (uint64_t n : parallel_stats.replayed_per_worker) {
+      per_worker_sum += n;
+    }
+    EXPECT_EQ(per_worker_sum + parallel_stats.replay_serial_fallbacks,
+              parallel_stats.txns_replayed);
+    EXPECT_EQ(parallel_stats.replay_serial_fallbacks, 0u);
+  }
+}
+
+// Adversarial schedule: every command touches the same hot key, so the
+// ticket rule must serialize the whole stream — still correct, and the
+// conflict counter must show the degeneration.
+TEST(ReplayScheduler, ConflictHeavyHotKeyDegeneratesToSerial) {
+  auto registry = MakeRegistry();
+  const uint64_t kRecords = 256;
+  const uint64_t kHotKey = 7;
+  CommitLog log;
+  Rng rng(99);
+  const uint64_t kTxns = 400;
+  for (uint64_t t = 0; t < kTxns; ++t) {
+    // Footprint = {hot key} ∪ {one varying key}: each command conflicts
+    // with its predecessor through the hot key.
+    uint64_t keys[2] = {kHotKey, rng.Next() % kRecords};
+    log.AppendCommit(t + 1, kRmwProcId, RmwProcedure::MakeArgs(keys, 2));
+  }
+
+  RecoveryStats serial_stats, parallel_stats;
+  StateMap serial = ReplayWith(log, *registry, 1, kRecords, &serial_stats);
+  StateMap parallel =
+      ReplayWith(log, *registry, 4, kRecords, &parallel_stats);
+
+  ASSERT_EQ(serial, parallel);
+  EXPECT_EQ(parallel_stats.txns_replayed, kTxns);
+  // Every command after the first overlaps its predecessor through the
+  // hot key; the dispatch-time conflict counter is deterministic, so
+  // the count is exact regardless of worker timing.
+  EXPECT_EQ(parallel_stats.replay_conflicts, kTxns - 1);
+}
+
+// Undeclared-footprint commands (allow_undeclared_writes) cannot be
+// ticketed; the scheduler must drain, replay them inline, and still
+// reproduce the serial state — including the undeclared writes.
+TEST(ReplayScheduler, UndeclaredFootprintFallsBackToSerial) {
+  auto registry = MakeRegistry();
+  const uint64_t kRecords = 128;
+  CommitLog log;
+  Rng rng(31);
+  uint64_t expected_fallbacks = 0;
+  for (uint64_t t = 0; t < 300; ++t) {
+    if (t % 17 == 5) {
+      log.AppendCommit(
+          t + 1, kUndeclaredProcId,
+          UndeclaredWriteProcedure::MakeArgs(rng.Next() % kRecords, t));
+      ++expected_fallbacks;
+    } else {
+      uint64_t keys[4] = {rng.Next() % kRecords, rng.Next() % kRecords,
+                          rng.Next() % kRecords, rng.Next() % kRecords};
+      log.AppendCommit(t + 1, kRmwProcId, RmwProcedure::MakeArgs(keys, 4));
+    }
+  }
+
+  RecoveryStats serial_stats, parallel_stats;
+  StateMap serial = ReplayWith(log, *registry, 1, kRecords, &serial_stats);
+  StateMap parallel =
+      ReplayWith(log, *registry, 4, kRecords, &parallel_stats);
+
+  ASSERT_EQ(serial, parallel);
+  EXPECT_EQ(parallel_stats.replay_serial_fallbacks, expected_fallbacks);
+  EXPECT_EQ(serial_stats.replay_serial_fallbacks, 0u);
+  EXPECT_EQ(parallel_stats.txns_replayed, serial_stats.txns_replayed);
+}
+
+// replay_threads = 1 must stay behaviorally identical to the legacy
+// serial path: same state, stats untouched by parallel-only machinery.
+TEST(ReplayScheduler, ThreadsOneMatchesSerial) {
+  auto registry = MakeRegistry();
+  const uint64_t kRecords = 200;
+  CommitLog log;
+  AppendRandomRmws(&log, 500, kRecords, 5, 11);
+
+  // Default-parameter path (today's callers) vs. explicit threads = 1.
+  std::unique_ptr<KVStore> store_default = SeedStore(kRecords);
+  RecoveryStats default_stats;
+  ASSERT_TRUE(RecoveryManager::ReplayLog(log, *registry,
+                                         store_default.get(), &default_stats)
+                  .ok());
+  RecoveryStats one_stats;
+  StateMap one = ReplayWith(log, *registry, 1, kRecords, &one_stats);
+
+  EXPECT_EQ(StoreToMap(*store_default), one);
+  EXPECT_EQ(default_stats.txns_replayed, one_stats.txns_replayed);
+  EXPECT_EQ(one_stats.replay_threads_used, 1u);
+  EXPECT_EQ(one_stats.replay_conflicts, 0u);
+  EXPECT_EQ(one_stats.replay_serial_fallbacks, 0u);
+  EXPECT_TRUE(one_stats.replayed_per_worker.empty());
+}
+
+// An unknown procedure id mid-stream must fail the replay with
+// InvalidArgument — promptly, with no worker left spinning on a ticket
+// that will never be published.
+TEST(ReplayScheduler, ErrorPropagatesWithoutHanging) {
+  auto registry = MakeRegistry();
+  const uint64_t kRecords = 64;
+  CommitLog log;
+  AppendRandomRmws(&log, 100, kRecords, 4, 3);
+  log.AppendCommit(101, /*proc_id=*/999, "bogus");
+  AppendRandomRmws(&log, 100, kRecords, 4, 4);
+
+  std::unique_ptr<KVStore> store = SeedStore(kRecords);
+  RecoveryStats stats;
+  Status st =
+      RecoveryManager::ReplayLog(log, *registry, store.get(), &stats, 4);
+  EXPECT_TRUE(st.IsInvalidArgument()) << st.ToString();
+}
+
+// Per-generation replayed/skipped accounting (the RecoveryStats
+// granularity fix): generations before the anchor are fully skipped,
+// the anchor splits at the RESOLVE token, later generations replay in
+// full — and the breakdown is identical for serial and parallel replay.
+TEST(ReplayScheduler, GenerationStatsBreakdown) {
+  auto registry = MakeRegistry();
+  const uint64_t kRecords = 128;
+  const uint64_t kCkptId = 7;
+  TempDir dir;
+
+  // Generation 0: 40 commits, the checkpoint's RESOLVE token, 25 more.
+  // Generation 1: 60 commits.
+  CommitLog gen0, gen1;
+  AppendRandomRmws(&gen0, 40, kRecords, 4, 21);
+  uint64_t token_lsn = gen0.AppendPhaseTransition(Phase::kResolve, kCkptId);
+  AppendRandomRmws(&gen0, 25, kRecords, 4, 22);
+  AppendRandomRmws(&gen1, 60, kRecords, 4, 23);
+  std::string f0 = dir.path() + "/gen0", f1 = dir.path() + "/gen1";
+  ASSERT_TRUE(gen0.PersistTo(f0).ok());
+  ASSERT_TRUE(gen1.PersistTo(f1).ok());
+  std::vector<std::string> files = {f0, f1};
+
+  auto run = [&](int threads, RecoveryStats* stats) {
+    std::unique_ptr<KVStore> store = SeedStore(kRecords);
+    // Simulate a loaded checkpoint whose point of consistency is the
+    // token in generation 0.
+    stats->checkpoints_loaded = 1;
+    stats->last_checkpoint_id = kCkptId;
+    stats->replay_from_lsn = token_lsn;
+    EXPECT_TRUE(RecoveryManager::ReplayLogGenerations(
+                    files, *registry, store.get(), stats, threads)
+                    .ok());
+    return StoreToMap(*store);
+  };
+
+  RecoveryStats serial_stats, parallel_stats;
+  StateMap serial = run(1, &serial_stats);
+  StateMap parallel = run(4, &parallel_stats);
+  ASSERT_EQ(serial, parallel);
+
+  for (const RecoveryStats* stats : {&serial_stats, &parallel_stats}) {
+    ASSERT_EQ(stats->generations.size(), 2u);
+    EXPECT_EQ(stats->generations[0].file, f0);
+    EXPECT_EQ(stats->generations[0].commits_total, 65u);
+    EXPECT_EQ(stats->generations[0].replayed, 25u);
+    EXPECT_EQ(stats->generations[0].skipped, 40u);
+    EXPECT_EQ(stats->generations[1].file, f1);
+    EXPECT_EQ(stats->generations[1].commits_total, 60u);
+    EXPECT_EQ(stats->generations[1].replayed, 60u);
+    EXPECT_EQ(stats->generations[1].skipped, 0u);
+    EXPECT_EQ(stats->txns_replayed, 85u);
+    EXPECT_EQ(stats->log_generations_replayed, 2u);
+  }
+}
+
+// Options::replay_threads resolution: explicit value wins, 0 defers to
+// CALCDB_REPLAY_THREADS, else 1.
+TEST(ReplayScheduler, ResolvedReplayThreads) {
+  const char* saved = std::getenv("CALCDB_REPLAY_THREADS");
+  std::string saved_value = saved != nullptr ? saved : "";
+  unsetenv("CALCDB_REPLAY_THREADS");
+
+  Options options;
+  EXPECT_EQ(Database::ResolvedReplayThreads(options), 1);
+  options.replay_threads = 3;
+  EXPECT_EQ(Database::ResolvedReplayThreads(options), 3);
+  options.replay_threads = 0;
+  setenv("CALCDB_REPLAY_THREADS", "5", 1);
+  EXPECT_EQ(Database::ResolvedReplayThreads(options), 5);
+  options.replay_threads = 2;  // explicit beats environment
+  EXPECT_EQ(Database::ResolvedReplayThreads(options), 2);
+
+  if (saved != nullptr) {
+    setenv("CALCDB_REPLAY_THREADS", saved_value.c_str(), 1);
+  } else {
+    unsetenv("CALCDB_REPLAY_THREADS");
+  }
+}
+
+// End-to-end: a full database run (CALC checkpoints + streamed command
+// log), crash, then RecoverFromCommandLog with parallel replay — the
+// recovered state must match a serial recovery of the same directory.
+TEST(ReplayScheduler, EndToEndCommandLogRecoveryMatchesSerial) {
+  TempDir dir;
+  Options options;
+  options.max_records = 4096;
+  options.algorithm = CheckpointAlgorithm::kCalc;
+  options.checkpoint_dir = dir.path() + "/ckpt";
+  options.command_log_path = dir.path() + "/cmdlog";
+  options.disk_bytes_per_sec = 0;
+
+  MicrobenchConfig config;
+  config.num_records = 600;
+  config.value_size = kValueSize;
+  config.ops_per_txn = 6;
+
+  StateMap pre_crash;
+  {
+    std::unique_ptr<Database> db;
+    ASSERT_TRUE(Database::Open(options, &db).ok());
+    ASSERT_TRUE(SetupMicrobench(db.get(), config).ok());
+    ASSERT_TRUE(db->Start().ok());
+    Rng rng(17);
+    std::vector<uint64_t> keys(static_cast<size_t>(config.ops_per_txn));
+    for (int t = 0; t < 800; ++t) {
+      for (auto& k : keys) k = rng.Next() % config.num_records;
+      ASSERT_TRUE(db->executor()
+                      ->Execute(kRmwProcId,
+                                RmwProcedure::MakeArgs(
+                                    keys.data(),
+                                    static_cast<uint32_t>(keys.size())),
+                                0)
+                      .ok());
+      if (t == 400) ASSERT_TRUE(db->Checkpoint().ok());
+    }
+    pre_crash = testing_util::DbToMap(db.get());
+    ASSERT_TRUE(db->Shutdown().ok());
+  }
+
+  auto recover = [&](int threads, RecoveryStats* stats) {
+    Options opts = options;
+    opts.replay_threads = threads;
+    std::unique_ptr<Database> db;
+    EXPECT_TRUE(Database::Open(opts, &db).ok());
+    MicrobenchConfig reg_only = config;
+    reg_only.num_records = 0;  // register procedures, load nothing
+    EXPECT_TRUE(SetupMicrobench(db.get(), reg_only).ok());
+    EXPECT_TRUE(db->RecoverFromCommandLog(stats).ok());
+    // Read the store directly instead of Start()ing the database:
+    // Start() reattaches the command-log streamer, which rotates a new
+    // generation file and would change what the next recovery sees.
+    return StoreToMap(*db->store());
+  };
+
+  RecoveryStats serial_stats, parallel_stats;
+  StateMap serial = recover(1, &serial_stats);
+  StateMap parallel = recover(4, &parallel_stats);
+  EXPECT_EQ(serial, pre_crash);
+  ASSERT_EQ(serial, parallel);
+  EXPECT_EQ(serial_stats.txns_replayed, parallel_stats.txns_replayed);
+  ASSERT_EQ(serial_stats.generations.size(),
+            parallel_stats.generations.size());
+  for (size_t i = 0; i < serial_stats.generations.size(); ++i) {
+    EXPECT_EQ(serial_stats.generations[i].replayed,
+              parallel_stats.generations[i].replayed);
+    EXPECT_EQ(serial_stats.generations[i].skipped,
+              parallel_stats.generations[i].skipped);
+  }
+}
+
+}  // namespace
+}  // namespace calcdb
