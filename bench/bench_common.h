@@ -102,6 +102,7 @@ struct RunConfig {
   size_t merge_batch = 4;
   DirtyTrackerKind tracker = DirtyTrackerKind::kBitVector;
   int capture_threads = 0;          ///< 0 = auto (env var, else 1)
+  int storage_shards = 0;           ///< 0 = auto (env var, else 1)
   uint64_t seed = 42;
 };
 
@@ -136,6 +137,7 @@ inline RunResult RunMicrobenchExperiment(const RunConfig& config,
   options.merge_batch = config.merge_batch;
   options.dirty_tracker = config.tracker;
   options.capture_threads = config.capture_threads;
+  options.storage_shards = config.storage_shards;
 
   std::unique_ptr<Database> db;
   Status st = Database::Open(options, &db);
@@ -356,6 +358,8 @@ inline RunConfig ConfigFromFlags(const Flags& flags) {
       static_cast<uint64_t>(flags.Double("disk_mbps", 25.0) * 1048576.0);
   config.capture_threads =
       static_cast<int>(flags.Int("capture_threads", 0));
+  config.storage_shards =
+      static_cast<int>(flags.Int("storage_shards", 0));
   config.seed = static_cast<uint64_t>(flags.Int("seed", 42));
   return config;
 }

@@ -43,14 +43,13 @@ struct ReplayRow {
   bool verified = false;
 };
 
-std::map<uint64_t, std::string> StoreToMap(const KVStore& store) {
+std::map<uint64_t, std::string> StoreToMap(const ShardedStore& store) {
   std::map<uint64_t, std::string> out;
-  for (uint32_t idx = 0; idx < store.NumSlots(); ++idx) {
-    Record* rec = store.ByIndex(idx);
-    if (rec == nullptr || rec->key == ~uint64_t{0}) continue;
+  store.ForEachRecord([&](Record* rec) {
+    if (rec == nullptr || rec->key == ~uint64_t{0}) return;
     std::string value;
     if (store.Get(rec->key, &value).ok()) out[rec->key] = std::move(value);
-  }
+  });
   return out;
 }
 
@@ -71,8 +70,8 @@ void BuildLog(CommitLog* log, uint64_t txns, uint64_t records, int ops,
   }
 }
 
-std::unique_ptr<KVStore> SeedStore(uint64_t records) {
-  auto store = std::make_unique<KVStore>(records + 64);
+std::unique_ptr<ShardedStore> SeedStore(uint64_t records) {
+  auto store = std::make_unique<ShardedStore>(records + 64);
   for (uint64_t k = 0; k < records; ++k) {
     Status st = store->Put(k, MicrobenchInitialValue(k, kValueSize));
     if (!st.ok()) {
@@ -131,7 +130,7 @@ int main(int argc, char** argv) {
     for (int threads : sweep) {
       std::printf("replaying %s @ %d thread(s)...\n", name, threads);
       std::fflush(stdout);
-      std::unique_ptr<KVStore> store = SeedStore(records);
+      std::unique_ptr<ShardedStore> store = SeedStore(records);
       RecoveryStats stats;
       Status st = RecoveryManager::ReplayLog(log, registry, store.get(),
                                              &stats, threads);

@@ -1,5 +1,6 @@
 #include "checkpoint/calc.h"
 
+#include <atomic>
 #include <cassert>
 #include <string>
 #include <thread>
@@ -55,10 +56,15 @@ CalcCheckpointer::CalcCheckpointer(EngineContext engine, CalcOptions options)
   // even a run with a single cycle traces the full rest -> prepare ->
   // resolve -> capture -> complete cadence.
   CALCDB_OBS_ONLY(rest_start_us_ = NowMicros();)
+  uint32_t nshards = engine_.store->num_shards();
+  slots_at_vpoc_ = std::vector<std::atomic<uint32_t>>(nshards);
   if (options_.partial) {
     for (int i = 0; i < 2; ++i) {
-      dirty_[i] = std::make_unique<DirtyKeyTracker>(
-          options_.tracker, engine_.store->max_records());
+      dirty_[i].reserve(nshards);
+      for (uint32_t s = 0; s < nshards; ++s) {
+        dirty_[i].emplace_back(std::make_unique<DirtyKeyTracker>(
+            options_.tracker, engine_.store->shard(s)->max_records()));
+      }
     }
   }
 }
@@ -106,13 +112,14 @@ void CalcCheckpointer::ApplyWrite(Txn& txn, Record& rec, Value* new_val) {
     case Phase::kCapture: {
       // Post-point-of-consistency writer: preserve the value the capture
       // scan must see — unless the scan will never visit this record
-      // (slot created after the VPoC, or not in pCALC's dirty set).
-      bool in_scan_range =
-          rec.index < slots_at_vpoc_.load(std::memory_order_acquire);
+      // (slot created after the VPoC, or not in pCALC's dirty set). Both
+      // the watermark and the dirty set are the record's own shard's.
+      bool in_scan_range = rec.index < VpocLimit(rec.shard);
       if (in_scan_range && options_.partial) {
         in_scan_range =
-            dirty_[capture_parity_.load(std::memory_order_acquire)]->Test(
-                rec.index);
+            DirtyFor(capture_parity_.load(std::memory_order_acquire),
+                     rec.shard)
+                .Test(rec.index);
       }
       if (in_scan_range && !StableAvailable(rec)) {
         EraseStable(rec);  // drop any stale leftover from an old cycle
@@ -128,8 +135,7 @@ void CalcCheckpointer::ApplyWrite(Txn& txn, Record& rec, Value* new_val) {
       EraseStable(rec);
       break;
   }
-  if (Record::IsRealValue(rec.live)) Value::Unref(rec.live);
-  rec.live = new_val;
+  engine_.store->ReplaceLive(rec, new_val);
 }
 
 void CalcCheckpointer::OnCommit(Txn& txn) {
@@ -154,12 +160,12 @@ void CalcCheckpointer::OnCommit(Txn& txn) {
         // consumed dirty set. A kept-but-never-consumed stable version
         // (often an AbsentMarker from a fresh insert) would leak into the
         // next cycle and mask the record from the *next* checkpoint.
-        bool scanned =
-            rec->index < slots_at_vpoc_.load(std::memory_order_acquire);
+        bool scanned = rec->index < VpocLimit(rec->shard);
         if (scanned && options_.partial) {
-          scanned = dirty_[capture_parity_.load(
-                               std::memory_order_acquire)]
-                        ->Test(rec->index);
+          scanned =
+              DirtyFor(capture_parity_.load(std::memory_order_acquire),
+                       rec->shard)
+                  .Test(rec->index);
         }
         if (scanned && rec->stable != nullptr) {
           SetStableAvailable(*rec);
@@ -176,9 +182,9 @@ void CalcCheckpointer::OnCommit(Txn& txn) {
     // Route dirty keys by the parity of the VPoC count at commit: commits
     // before the n-th virtual point of consistency land in the set the
     // n-th capture consumes; later commits land in the other set.
-    DirtyKeyTracker& dirty = *dirty_[txn.vpoc_count & 1];
+    uint32_t parity = static_cast<uint32_t>(txn.vpoc_count & 1);
     for (Record* rec : txn.written_records) {
-      dirty.Mark(rec->index);
+      DirtyFor(parity, rec->shard).Mark(rec->index);
     }
   }
 }
@@ -244,77 +250,108 @@ Status CalcCheckpointer::CaptureRecord(Record& rec,
   return st;
 }
 
-Status CalcCheckpointer::CaptureAll(uint32_t slot_limit,
-                                    CheckpointFileWriter* writer) {
-  for (uint32_t idx = 0; idx < slot_limit; ++idx) {
-    CALCDB_RETURN_NOT_OK(
-        CaptureRecord(*engine_.store->ByIndex(idx), writer));
+Status CalcCheckpointer::CaptureAll(CheckpointFileWriter* writer) {
+  uint32_t nshards = engine_.store->num_shards();
+  for (uint32_t s = 0; s < nshards; ++s) {
+    uint32_t limit = VpocLimit(s);
+    for (uint32_t idx = 0; idx < limit; ++idx) {
+      CALCDB_RETURN_NOT_OK(
+          CaptureRecord(*engine_.store->shard(s)->ByIndex(idx), writer));
+    }
   }
   return Status::OK();
 }
 
-Status CalcCheckpointer::CapturePartial(uint32_t slot_limit,
-                                        CheckpointFileWriter* writer) {
-  DirtyKeyTracker& dirty =
-      *dirty_[capture_parity_.load(std::memory_order_acquire)];
+Status CalcCheckpointer::CapturePartial(CheckpointFileWriter* writer) {
+  uint32_t parity = capture_parity_.load(std::memory_order_acquire);
+  uint32_t nshards = engine_.store->num_shards();
   Status st;
-  dirty.ForEach(slot_limit, [&](uint32_t idx) {
-    if (!st.ok()) return;
-    st = CaptureRecord(*engine_.store->ByIndex(idx), writer);
-  });
+  for (uint32_t s = 0; s < nshards; ++s) {
+    DirtyFor(parity, s).ForEach(VpocLimit(s), [&](uint32_t idx) {
+      if (!st.ok()) return;
+      st = CaptureRecord(*engine_.store->shard(s)->ByIndex(idx), writer);
+    });
+    CALCDB_RETURN_NOT_OK(st);
+  }
   return st;
 }
 
-Status CalcCheckpointer::CaptureSegmented(uint32_t slot_limit,
-                                         CheckpointType type, uint64_t id,
+Status CalcCheckpointer::CaptureSegmented(CheckpointType type, uint64_t id,
                                          uint64_t vpoc_lsn,
                                          CheckpointInfo* info,
                                          CheckpointCycleStats* stats) {
-  // Shard the capture work into contiguous ranges: slot ranges for a full
-  // capture; for pCALC, the dirty indices are collected once (cheap — no
-  // value copies) and split into contiguous chunks, so every segment still
-  // writes its entries in ascending slot order and no two segments ever
-  // touch the same record.
-  std::vector<uint32_t> dirty_indices;
-  size_t total = slot_limit;
-  if (options_.partial) {
-    DirtyKeyTracker& dirty =
-        *dirty_[capture_parity_.load(std::memory_order_acquire)];
-    dirty.ForEach(slot_limit,
-                  [&](uint32_t idx) { dirty_indices.push_back(idx); });
-    total = dirty_indices.size();
-  }
-  size_t nseg = static_cast<size_t>(options_.capture_threads);
-  if (nseg > total) nseg = total < 1 ? 1 : total;
+  // Each segment is a (shard, work-list range) pair, written in ascending
+  // slot order; no two segments ever touch the same record.
+  //
+  // Single-shard store: pCALC's dirty indices are collected once (cheap —
+  // no value copies), and the work list (dirty indices, or the whole slot
+  // range) is split into capture_threads contiguous chunks, exactly the
+  // pre-shard layout. Sharded store: segment K is shard K, whole — the
+  // file layout is a property of the data's partitioning, not of how many
+  // workers happened to run, so segments stay byte-stable across
+  // capture_threads settings.
+  uint32_t nshards = engine_.store->num_shards();
+  uint32_t parity = capture_parity_.load(std::memory_order_acquire);
 
   struct Segment {
+    uint32_t shard = 0;
     size_t begin = 0;
-    size_t end = 0;  // work-list index range [begin, end)
+    size_t end = 0;  // work-list index range [begin, end) within the shard
     std::string path;
     Status status;
     uint64_t entries = 0;
     uint64_t bytes = 0;
   };
-  std::vector<Segment> segs(nseg);
-  for (size_t k = 0; k < nseg; ++k) {
-    segs[k].begin = total * k / nseg;
-    segs[k].end = total * (k + 1) / nseg;
+  std::vector<std::vector<uint32_t>> dirty_by_shard;
+  if (options_.partial) {
+    dirty_by_shard.resize(nshards);
+    for (uint32_t s = 0; s < nshards; ++s) {
+      DirtyFor(parity, s).ForEach(VpocLimit(s), [&](uint32_t idx) {
+        dirty_by_shard[s].push_back(idx);
+      });
+    }
+  }
+  auto shard_work = [&](uint32_t s) -> size_t {
+    return options_.partial ? dirty_by_shard[s].size() : VpocLimit(s);
+  };
+
+  std::vector<Segment> segs;
+  if (nshards == 1) {
+    size_t total = shard_work(0);
+    size_t nseg = static_cast<size_t>(options_.capture_threads);
+    if (nseg < 1) nseg = 1;
+    if (nseg > total) nseg = total < 1 ? 1 : total;
+    segs.resize(nseg);
+    for (size_t k = 0; k < nseg; ++k) {
+      segs[k].begin = total * k / nseg;
+      segs[k].end = total * (k + 1) / nseg;
+    }
+  } else {
+    segs.resize(nshards);
+    for (uint32_t s = 0; s < nshards; ++s) {
+      segs[s].shard = s;
+      segs[s].end = shard_work(s);
+    }
+  }
+  for (size_t k = 0; k < segs.size(); ++k) {
     segs[k].path = engine_.ckpt_storage->SegmentPathFor(id, type, k);
   }
+
   // Every segment writer draws from the storage-wide budget (carried in
   // writer_options), keeping the configured rate an aggregate cap over
   // all concurrent writers.
   const CheckpointWriterOptions& writer_options =
       engine_.ckpt_storage->writer_options();
-  auto capture_range = [&](size_t k) {
+  auto capture_segment = [&](size_t k) {
     Segment& seg = segs[k];
+    KVStore* shard = engine_.store->shard(seg.shard);
     CALCDB_OBS_ONLY(int64_t seg_start_us = NowMicros();)
     CheckpointFileWriter writer;
     seg.status = writer.Open(seg.path, type, id, vpoc_lsn, writer_options);
     for (size_t i = seg.begin; seg.status.ok() && i < seg.end; ++i) {
-      uint32_t idx =
-          options_.partial ? dirty_indices[i] : static_cast<uint32_t>(i);
-      seg.status = CaptureRecord(*engine_.store->ByIndex(idx), &writer);
+      uint32_t idx = options_.partial ? dirty_by_shard[seg.shard][i]
+                                      : static_cast<uint32_t>(i);
+      seg.status = CaptureRecord(*shard->ByIndex(idx), &writer);
     }
     // Worker-thread context: route the injected Status into the segment's
     // status slot by hand (CALCDB_RETURN_NOT_OK can't return from here).
@@ -333,10 +370,25 @@ Status CalcCheckpointer::CaptureSegmented(uint32_t slot_limit,
     CALCDB_COUNTER_ADD("calcdb.ckpt.segment_bytes", seg.bytes);
 #endif
   };
+  // Workers pull segment ids from a shared cursor: with one shard there
+  // are exactly capture_threads segments (one each); with many shards a
+  // smaller pool still writes every per-shard segment.
+  size_t pool = static_cast<size_t>(
+      options_.capture_threads < 1 ? 1 : options_.capture_threads);
+  if (pool > segs.size()) pool = segs.size();
+  if (pool < 1) pool = 1;
+  std::atomic<size_t> next_seg{0};
+  auto worker = [&] {
+    for (;;) {
+      size_t k = next_seg.fetch_add(1, std::memory_order_relaxed);
+      if (k >= segs.size()) return;
+      capture_segment(k);
+    }
+  };
   std::vector<std::thread> workers;
-  workers.reserve(nseg > 0 ? nseg - 1 : 0);
-  for (size_t k = 1; k < nseg; ++k) workers.emplace_back(capture_range, k);
-  capture_range(0);
+  workers.reserve(pool - 1);
+  for (size_t w = 1; w < pool; ++w) workers.emplace_back(worker);
+  worker();
   for (std::thread& t : workers) t.join();
 
   // The checkpoint is valid only once every segment footer is durable; on
@@ -355,7 +407,7 @@ Status CalcCheckpointer::CaptureSegmented(uint32_t slot_limit,
   }
   stats->records_written = info->num_entries;
   stats->bytes_written = bytes;
-  stats->segments = nseg;
+  stats->segments = segs.size();
   return Status::OK();
 }
 
@@ -411,8 +463,11 @@ Status CalcCheckpointer::RunCheckpointCycle() {
   // while still reading last cycle's watermark or parity.
   uint64_t vpoc_lsn = engine_.log->AppendPhaseTransition(
       Phase::kResolve, id, engine_.phases, [this] {
-        slots_at_vpoc_.store(engine_.store->NumSlots(),
-                             std::memory_order_release);
+        uint32_t nshards = engine_.store->num_shards();
+        for (uint32_t s = 0; s < nshards; ++s) {
+          slots_at_vpoc_[s].store(engine_.store->shard(s)->NumSlots(),
+                                  std::memory_order_release);
+        }
         if (options_.partial) {
           // VpocCount was just incremented to n; the n-th capture consumes
           // the set with parity (n-1) & 1.
@@ -431,17 +486,17 @@ Status CalcCheckpointer::RunCheckpointCycle() {
   Stopwatch capture_sw;
   CheckpointType type =
       options_.partial ? CheckpointType::kPartial : CheckpointType::kFull;
-  uint32_t slot_limit = slots_at_vpoc_.load(std::memory_order_acquire);
   CheckpointInfo info;
   info.id = id;
   info.type = type;
   info.vpoc_lsn = vpoc_lsn;
-  if (options_.capture_threads > 1) {
-    // Parallel segmented capture. `info.path` keeps the base name the
-    // segment files derive from; no file exists at it.
+  if (options_.capture_threads > 1 || engine_.store->num_shards() > 1) {
+    // Parallel segmented capture (sharded stores always segment: the
+    // files mirror the partitioning). `info.path` keeps the base name
+    // the segment files derive from; no file exists at it.
     info.path = engine_.ckpt_storage->PathFor(id, type);
     CALCDB_RETURN_NOT_OK(
-        CaptureSegmented(slot_limit, type, id, vpoc_lsn, &info, &stats));
+        CaptureSegmented(type, id, vpoc_lsn, &info, &stats));
   } else {
     // Single-threaded capture keeps the legacy single-file layout,
     // byte-for-byte (only the pacing source changed: the shared budget
@@ -450,9 +505,8 @@ Status CalcCheckpointer::RunCheckpointCycle() {
     CheckpointFileWriter writer;
     CALCDB_RETURN_NOT_OK(writer.Open(
         path, type, id, vpoc_lsn, engine_.ckpt_storage->writer_options()));
-    CALCDB_RETURN_NOT_OK(options_.partial
-                             ? CapturePartial(slot_limit, &writer)
-                             : CaptureAll(slot_limit, &writer));
+    CALCDB_RETURN_NOT_OK(options_.partial ? CapturePartial(&writer)
+                                          : CaptureAll(&writer));
     CALCDB_RETURN_NOT_OK(writer.Finish());
     stats.records_written = writer.entries_written();
     stats.bytes_written = writer.bytes_written();
@@ -477,7 +531,10 @@ Status CalcCheckpointer::RunCheckpointCycle() {
   WaitForDrain({Phase::kPrepare, Phase::kResolve, Phase::kCapture});
 
   if (options_.partial) {
-    dirty_[capture_parity_.load(std::memory_order_acquire)]->Clear();
+    uint32_t parity = capture_parity_.load(std::memory_order_acquire);
+    for (uint32_t s = 0; s < engine_.store->num_shards(); ++s) {
+      DirtyFor(parity, s).Clear();
+    }
   }
   active_cycle_.store(0, std::memory_order_release);
 

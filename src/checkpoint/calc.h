@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "checkpoint/checkpointer.h"
 #include "checkpoint/dirty_tracker.h"
@@ -19,10 +20,14 @@ struct CalcOptions {
   /// Dirty-key structure for pCALC (paper's final choice: bit vector).
   DirtyTrackerKind tracker = DirtyTrackerKind::kBitVector;
 
-  /// Capture-phase worker threads. 1 keeps the legacy single-file capture
-  /// (byte-stable with the original format); N > 1 shards the slot space
-  /// into N contiguous ranges, each written to its own segment file, all
-  /// drawing from the storage's shared write budget.
+  /// Capture-phase worker threads. With a single-shard store, 1 keeps the
+  /// legacy single-file capture (byte-stable with the original format) and
+  /// N > 1 slices the slot space into N contiguous ranges, each written to
+  /// its own segment file. With a sharded store the segments ARE the
+  /// shards (ckpt.<id>.segK holds exactly shard K, ascending slot order)
+  /// and capture_threads only sizes the worker pool drawing shard ids —
+  /// never the file layout. All writers draw from the storage's shared
+  /// write budget.
   int capture_threads = 1;
 };
 
@@ -101,20 +106,31 @@ class CalcCheckpointer : public Checkpointer {
   /// Erases any stable version (real or marker).
   void EraseStable(Record& rec);
 
+  /// The capture range of shard `s`: its slot count at the VPoC.
+  uint32_t VpocLimit(uint32_t s) const {
+    return slots_at_vpoc_[s].load(std::memory_order_acquire);
+  }
+  /// Shard `s`'s dirty set of the given parity (pCALC only).
+  DirtyKeyTracker& DirtyFor(uint32_t parity, uint32_t s) {
+    return *dirty_[parity][s];
+  }
+
   /// Captures one record; emits at most one entry into `writer`.
   [[nodiscard]] Status CaptureRecord(Record& rec,
                                      CheckpointFileWriter* writer);
 
-  [[nodiscard]] Status CaptureAll(uint32_t slot_limit,
-                                  CheckpointFileWriter* writer);
-  [[nodiscard]] Status CapturePartial(uint32_t slot_limit,
-                                      CheckpointFileWriter* writer);
+  /// Single-file scans, shard-major (identical to the legacy dense scan
+  /// with one shard).
+  [[nodiscard]] Status CaptureAll(CheckpointFileWriter* writer);
+  [[nodiscard]] Status CapturePartial(CheckpointFileWriter* writer);
 
-  /// Parallel segmented capture: shards the capture work into contiguous
-  /// ranges, one worker + one segment file per range. On success fills
-  /// `info->segments`, `info->num_entries` and `stats` capture fields.
-  [[nodiscard]] Status CaptureSegmented(uint32_t slot_limit,
-                                        CheckpointType type, uint64_t id,
+  /// Parallel segmented capture. Single-shard store: the slot space is
+  /// sliced into capture_threads contiguous ranges, one segment file per
+  /// range. Sharded store: one segment per shard (segment K == shard K),
+  /// with min(capture_threads, shards) workers pulling shard ids. On
+  /// success fills `info->segments`, `info->num_entries` and `stats`
+  /// capture fields.
+  [[nodiscard]] Status CaptureSegmented(CheckpointType type, uint64_t id,
                                         uint64_t vpoc_lsn,
                                         CheckpointInfo* info,
                                         CheckpointCycleStats* stats);
@@ -130,11 +146,15 @@ class CalcCheckpointer : public Checkpointer {
   std::atomic<uint32_t> active_cycle_{0};
   uint32_t next_cycle_ = 1;
 
-  /// Slot count at the virtual point of consistency; the capture range.
-  std::atomic<uint32_t> slots_at_vpoc_{0};
+  /// Per-shard slot count at the virtual point of consistency; the
+  /// capture range of each shard (all published inside the RESOLVE
+  /// token's log latch, so one VPoC snapshots every shard atomically
+  /// with respect to commit order).
+  std::vector<std::atomic<uint32_t>> slots_at_vpoc_;
 
-  /// pCALC: double-buffered dirty sets indexed by VPoC-count parity.
-  std::unique_ptr<DirtyKeyTracker> dirty_[2];
+  /// pCALC: double-buffered dirty sets indexed by VPoC-count parity,
+  /// one tracker per shard (sized to the shard's own index space).
+  std::vector<std::unique_ptr<DirtyKeyTracker>> dirty_[2];
   /// Parity of the dirty set consumed by the in-progress capture.
   std::atomic<uint32_t> capture_parity_{0};
 

@@ -77,8 +77,7 @@ Value* Checkpointer::ReadRecord(Txn& txn, Record& rec) {
 void NoCheckpointer::ApplyWrite(Txn& txn, Record& rec, Value* new_val) {
   (void)txn;
   SpinLatchGuard guard(rec.latch);
-  if (Record::IsRealValue(rec.live)) Value::Unref(rec.live);
-  rec.live = new_val;
+  engine_.store->ReplaceLive(rec, new_val);
 }
 
 }  // namespace calcdb

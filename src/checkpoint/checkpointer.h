@@ -9,7 +9,7 @@
 #include "checkpoint/ckpt_storage.h"
 #include "checkpoint/phase.h"
 #include "log/commit_log.h"
-#include "storage/kv_store.h"
+#include "storage/sharded_store.h"
 #include "txn/txn.h"
 #include "util/status.h"
 
@@ -19,7 +19,7 @@ class CommandLogStreamer;
 
 /// Everything a checkpointing algorithm needs from the engine.
 struct EngineContext {
-  KVStore* store = nullptr;
+  ShardedStore* store = nullptr;
   CommitLog* log = nullptr;
   PhaseController* phases = nullptr;
   AdmissionGate* gate = nullptr;

@@ -84,7 +84,8 @@ class RawThrottledFd {
 }  // namespace
 
 ForkSnapshotCheckpointer::ForkSnapshotCheckpointer(EngineContext engine)
-    : Checkpointer(engine) {
+    : Checkpointer(engine),
+      slots_at_poc_(engine.store->num_shards(), 0) {
   // Force one-time initialization (CRC table's lazy static) in the
   // parent, so the forked child never allocates.
   Crc32("", 0);
@@ -94,12 +95,10 @@ void ForkSnapshotCheckpointer::ApplyWrite(Txn& txn, Record& rec,
                                           Value* new_val) {
   (void)txn;
   SpinLatchGuard guard(rec.latch);
-  if (Record::IsRealValue(rec.live)) Value::Unref(rec.live);
-  rec.live = new_val;
+  engine_.store->ReplaceLive(rec, new_val);
 }
 
-int ForkSnapshotCheckpointer::ChildWriteSnapshot(int fd, uint32_t slots,
-                                                 uint64_t id,
+int ForkSnapshotCheckpointer::ChildWriteSnapshot(int fd, uint64_t id,
                                                  uint64_t poc_lsn) {
   RawThrottledFd out(fd, engine_.ckpt_storage->disk_bytes_per_sec());
   if (!out.Append(kMagic, sizeof(kMagic))) return 2;
@@ -111,25 +110,29 @@ int ForkSnapshotCheckpointer::ChildWriteSnapshot(int fd, uint32_t slots,
 
   uint32_t crc = 0;
   uint64_t count = 0;
-  for (uint32_t idx = 0; idx < slots; ++idx) {
-    // The child's image is frozen (COW): no latch needed, nothing races.
-    Record* rec = engine_.store->ByIndex(idx);
-    if (!Record::IsRealValue(rec->live)) continue;
-    uint64_t key = rec->key;
-    uint8_t flags = 0;
-    std::string_view value = rec->live->data();
-    uint32_t len = static_cast<uint32_t>(value.size());
-    crc = Crc32(&key, sizeof(key), crc);
-    crc = Crc32(&flags, sizeof(flags), crc);
-    crc = Crc32(&len, sizeof(len), crc);
-    crc = Crc32(value.data(), value.size(), crc);
-    if (!out.Append(&key, sizeof(key)) ||
-        !out.Append(&flags, sizeof(flags)) ||
-        !out.Append(&len, sizeof(len)) ||
-        !out.Append(value.data(), value.size())) {
-      return 2;
+  for (uint32_t s = 0; s < engine_.store->num_shards(); ++s) {
+    KVStore* shard = engine_.store->shard(s);
+    for (uint32_t idx = 0; idx < slots_at_poc_[s]; ++idx) {
+      // The child's image is frozen (COW): no latch needed, nothing
+      // races.
+      Record* rec = shard->ByIndex(idx);
+      if (!Record::IsRealValue(rec->live)) continue;
+      uint64_t key = rec->key;
+      uint8_t flags = 0;
+      std::string_view value = rec->live->data();
+      uint32_t len = static_cast<uint32_t>(value.size());
+      crc = Crc32(&key, sizeof(key), crc);
+      crc = Crc32(&flags, sizeof(flags), crc);
+      crc = Crc32(&len, sizeof(len), crc);
+      crc = Crc32(value.data(), value.size(), crc);
+      if (!out.Append(&key, sizeof(key)) ||
+          !out.Append(&flags, sizeof(flags)) ||
+          !out.Append(&len, sizeof(len)) ||
+          !out.Append(value.data(), value.size())) {
+        return 2;
+      }
+      ++count;
     }
-    ++count;
   }
   if (!out.Append(&kFooterKey, sizeof(kFooterKey))) return 2;
   if (!out.Append(&kFooterFlags, sizeof(kFooterFlags))) return 2;
@@ -166,14 +169,15 @@ Status ForkSnapshotCheckpointer::RunCheckpointCycle() {
   // the child's address space is the exact committed state.
   pid_t child = -1;
   uint64_t poc_lsn = 0;
-  uint32_t slots = 0;
   Status st;
   stats.quiesce_micros = QuiesceAndRun(
       engine_,
       [&]() -> Status {
         poc_lsn = engine_.log->AppendPhaseTransition(Phase::kResolve, id,
                                                      /*pc=*/nullptr);
-        slots = engine_.store->NumSlots();
+        for (uint32_t s = 0; s < engine_.store->num_shards(); ++s) {
+          slots_at_poc_[s] = engine_.store->shard(s)->NumSlots();
+        }
         child = ::fork();
         if (child < 0) {
           return Status::IOError(std::string("fork: ") +
@@ -185,7 +189,7 @@ Status ForkSnapshotCheckpointer::RunCheckpointCycle() {
   if (child == 0) {
     // Child: write the frozen image and exit without running any
     // destructors or atexit handlers.
-    ::_exit(ChildWriteSnapshot(fd, slots, id, poc_lsn));
+    ::_exit(ChildWriteSnapshot(fd, id, poc_lsn));
   }
   ::close(fd);  // parent's copy of the descriptor
   CALCDB_RETURN_NOT_OK(st);

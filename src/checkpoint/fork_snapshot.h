@@ -1,6 +1,8 @@
 #ifndef CALCDB_CHECKPOINT_FORK_SNAPSHOT_H_
 #define CALCDB_CHECKPOINT_FORK_SNAPSHOT_H_
 
+#include <vector>
+
 #include "checkpoint/checkpointer.h"
 
 namespace calcdb {
@@ -35,11 +37,17 @@ class ForkSnapshotCheckpointer : public Checkpointer {
   [[nodiscard]] Status RunCheckpointCycle() override;
 
  private:
-  /// Runs in the forked child: writes every present record to `fd` in the
-  /// checkpoint file format using only stack memory and raw syscalls.
-  /// Returns the child's exit code (0 = success).
-  int ChildWriteSnapshot(int fd, uint32_t slots, uint64_t id,
-                         uint64_t poc_lsn);
+  /// Runs in the forked child: writes every present record (shard-major
+  /// over `slots_at_poc_`) to `fd` in the checkpoint file format using
+  /// only stack memory and raw syscalls. Returns the child's exit code
+  /// (0 = success).
+  int ChildWriteSnapshot(int fd, uint64_t id, uint64_t poc_lsn);
+
+  /// Per-shard slot counts at the point of consistency. Allocated once in
+  /// the constructor and only overwritten inside the quiesce window — the
+  /// forked child must not allocate, so this cannot be a lambda-local
+  /// vector filled at fork time.
+  std::vector<uint32_t> slots_at_poc_;
 };
 
 }  // namespace calcdb

@@ -10,44 +10,52 @@ namespace calcdb {
 FuzzyCheckpointer::FuzzyCheckpointer(EngineContext engine,
                                      FuzzyOptions options)
     : Checkpointer(engine), options_(options) {
+  uint32_t nshards = engine_.store->num_shards();
   for (int i = 0; i < 2; ++i) {
-    dirty_[i] = std::make_unique<DirtyKeyTracker>(
-        options_.tracker, engine_.store->max_records());
+    dirty_[i].reserve(nshards);
+    for (uint32_t s = 0; s < nshards; ++s) {
+      dirty_[i].emplace_back(std::make_unique<DirtyKeyTracker>(
+          options_.tracker, engine_.store->shard(s)->max_records()));
+    }
   }
   if (!options_.partial) {
     // Full fuzzy keeps the latest snapshot resident. Seed it with a
     // physical copy of the current database contents.
-    snapshot_.assign(engine_.store->max_records(), nullptr);
-    uint32_t slots = engine_.store->NumSlots();
-    for (uint32_t idx = 0; idx < slots; ++idx) {
-      Record* rec = engine_.store->ByIndex(idx);
-      SpinLatchGuard guard(rec->latch);
-      if (Record::IsRealValue(rec->live)) {
-        snapshot_[idx] = Value::Create(rec->live->data());
+    snapshot_.resize(nshards);
+    for (uint32_t s = 0; s < nshards; ++s) {
+      KVStore* shard = engine_.store->shard(s);
+      snapshot_[s].assign(shard->max_records(), nullptr);
+      uint32_t slots = shard->NumSlots();
+      for (uint32_t idx = 0; idx < slots; ++idx) {
+        Record* rec = shard->ByIndex(idx);
+        SpinLatchGuard guard(rec->latch);
+        if (Record::IsRealValue(rec->live)) {
+          snapshot_[s][idx] = Value::Create(rec->live->data());
+        }
       }
     }
   }
 }
 
 FuzzyCheckpointer::~FuzzyCheckpointer() {
-  for (Value* v : snapshot_) {
-    if (v != nullptr) Value::Unref(v);
+  for (auto& shard_snap : snapshot_) {
+    for (Value* v : shard_snap) {
+      if (v != nullptr) Value::Unref(v);
+    }
   }
 }
 
 void FuzzyCheckpointer::ApplyWrite(Txn& txn, Record& rec, Value* new_val) {
   (void)txn;
   SpinLatchGuard guard(rec.latch);
-  if (Record::IsRealValue(rec.live)) Value::Unref(rec.live);
-  rec.live = new_val;
+  engine_.store->ReplaceLive(rec, new_val);
 }
 
 void FuzzyCheckpointer::OnCommit(Txn& txn) {
   if (txn.written_records.empty()) return;
-  DirtyKeyTracker& dirty =
-      *dirty_[active_dirty_.load(std::memory_order_acquire)];
+  uint32_t side = active_dirty_.load(std::memory_order_acquire);
   for (Record* rec : txn.written_records) {
-    dirty.Mark(rec->index);
+    dirty_[side][rec->shard]->Mark(rec->index);
   }
 }
 
@@ -58,8 +66,9 @@ Status FuzzyCheckpointer::RunCheckpointCycle() {
   uint64_t id = engine_.ckpt_storage->NextId();
   stats.checkpoint_id = id;
 
+  uint32_t nshards = engine_.store->num_shards();
   uint32_t capture_side = 0;
-  uint32_t slots_at_poc = 0;
+  std::vector<uint32_t> slots_at_poc(nshards, 0);
   uint64_t poc_lsn = 0;
 
   // Quiesce: write the checkpoint record (the dirty-record table; the
@@ -71,7 +80,9 @@ Status FuzzyCheckpointer::RunCheckpointCycle() {
       [&]() -> Status {
         poc_lsn = engine_.log->AppendPhaseTransition(Phase::kResolve, id,
                                                      /*pc=*/nullptr);
-        slots_at_poc = engine_.store->NumSlots();
+        for (uint32_t s = 0; s < nshards; ++s) {
+          slots_at_poc[s] = engine_.store->shard(s)->NumSlots();
+        }
         capture_side = active_dirty_.load(std::memory_order_acquire);
         active_dirty_.store(1 - capture_side, std::memory_order_release);
 
@@ -84,12 +95,16 @@ Status FuzzyCheckpointer::RunCheckpointCycle() {
         CALCDB_RETURN_NOT_OK(record_writer.Open(
             record_path, engine_.ckpt_storage->write_budget()));
         Status write_st;
-        dirty_[capture_side]->ForEach(slots_at_poc, [&](uint32_t idx) {
-          if (!write_st.ok()) return;
-          uint64_t key = engine_.store->ByIndex(idx)->key;
-          write_st = record_writer.Append(&key, sizeof(key));
-        });
-        CALCDB_RETURN_NOT_OK(write_st);
+        for (uint32_t s = 0; s < nshards; ++s) {
+          KVStore* shard = engine_.store->shard(s);
+          dirty_[capture_side][s]->ForEach(
+              slots_at_poc[s], [&](uint32_t idx) {
+                if (!write_st.ok()) return;
+                uint64_t key = shard->ByIndex(idx)->key;
+                write_st = record_writer.Append(&key, sizeof(key));
+              });
+          CALCDB_RETURN_NOT_OK(write_st);
+        }
         return record_writer.Close();
       },
       &st);
@@ -107,47 +122,55 @@ Status FuzzyCheckpointer::RunCheckpointCycle() {
       writer.Open(path, type, id, poc_lsn,
                   engine_.ckpt_storage->writer_options()));
 
-  DirtyKeyTracker& dirty = *dirty_[capture_side];
   if (options_.partial) {
-    Status scan_st;
-    dirty.ForEach(slots_at_poc, [&](uint32_t idx) {
-      if (!scan_st.ok()) return;
-      Record* rec = engine_.store->ByIndex(idx);
-      Value* v = nullptr;
-      {
-        SpinLatchGuard guard(rec->latch);
-        if (Record::IsRealValue(rec->live)) v = Value::Ref(rec->live);
-      }
-      if (v != nullptr) {
-        scan_st = writer.Append(rec->key, v->data());
-        Value::Unref(v);
-      } else if (rec->key != ~uint64_t{0}) {
-        scan_st = writer.AppendTombstone(rec->key);
-      }
-    });
-    CALCDB_RETURN_NOT_OK(scan_st);
+    for (uint32_t s = 0; s < nshards; ++s) {
+      KVStore* shard = engine_.store->shard(s);
+      Status scan_st;
+      dirty_[capture_side][s]->ForEach(slots_at_poc[s], [&](uint32_t idx) {
+        if (!scan_st.ok()) return;
+        Record* rec = shard->ByIndex(idx);
+        Value* v = nullptr;
+        {
+          SpinLatchGuard guard(rec->latch);
+          if (Record::IsRealValue(rec->live)) v = Value::Ref(rec->live);
+        }
+        if (v != nullptr) {
+          scan_st = writer.Append(rec->key, v->data());
+          Value::Unref(v);
+        } else if (rec->key != ~uint64_t{0}) {
+          scan_st = writer.AppendTombstone(rec->key);
+        }
+      });
+      CALCDB_RETURN_NOT_OK(scan_st);
+    }
   } else {
     // Full: merge dirty records into the resident snapshot, then write
-    // the complete snapshot.
-    dirty.ForEach(slots_at_poc, [&](uint32_t idx) {
-      Record* rec = engine_.store->ByIndex(idx);
-      Value* v = nullptr;
-      {
-        SpinLatchGuard guard(rec->latch);
-        if (Record::IsRealValue(rec->live)) v = Value::Ref(rec->live);
-      }
-      if (snapshot_[idx] != nullptr) Value::Unref(snapshot_[idx]);
-      snapshot_[idx] = v;  // may be null (deleted)
-    });
-    for (uint32_t idx = 0; idx < slots_at_poc; ++idx) {
-      if (snapshot_[idx] != nullptr) {
-        CALCDB_RETURN_NOT_OK(writer.Append(
-            engine_.store->ByIndex(idx)->key, snapshot_[idx]->data()));
+    // the complete snapshot, shard-major.
+    for (uint32_t s = 0; s < nshards; ++s) {
+      KVStore* shard = engine_.store->shard(s);
+      dirty_[capture_side][s]->ForEach(slots_at_poc[s], [&](uint32_t idx) {
+        Record* rec = shard->ByIndex(idx);
+        Value* v = nullptr;
+        {
+          SpinLatchGuard guard(rec->latch);
+          if (Record::IsRealValue(rec->live)) v = Value::Ref(rec->live);
+        }
+        if (snapshot_[s][idx] != nullptr) Value::Unref(snapshot_[s][idx]);
+        snapshot_[s][idx] = v;  // may be null (deleted)
+      });
+    }
+    for (uint32_t s = 0; s < nshards; ++s) {
+      KVStore* shard = engine_.store->shard(s);
+      for (uint32_t idx = 0; idx < slots_at_poc[s]; ++idx) {
+        if (snapshot_[s][idx] != nullptr) {
+          CALCDB_RETURN_NOT_OK(writer.Append(shard->ByIndex(idx)->key,
+                                             snapshot_[s][idx]->data()));
+        }
       }
     }
   }
   CALCDB_RETURN_NOT_OK(writer.Finish());
-  dirty.Clear();
+  for (uint32_t s = 0; s < nshards; ++s) dirty_[capture_side][s]->Clear();
   stats.capture_micros = capture_sw.ElapsedMicros();
 
   CheckpointInfo info;

@@ -59,13 +59,14 @@ class FuzzyCheckpointer : public Checkpointer {
  private:
   FuzzyOptions options_;
 
-  std::unique_ptr<DirtyKeyTracker> dirty_[2];
+  /// Double-buffered dirty sets, one tracker per shard.
+  std::vector<std::unique_ptr<DirtyKeyTracker>> dirty_[2];
   std::atomic<uint32_t> active_dirty_{0};
 
   /// Full variant only: the in-memory latest snapshot ("we maintain an
   /// extra copy of the database in main memory which is the latest
-  /// consistent snapshot"). Indexed by record index; owned references.
-  std::vector<Value*> snapshot_;
+  /// consistent snapshot"). snapshot_[shard][index]; owned references.
+  std::vector<std::vector<Value*>> snapshot_;
 };
 
 }  // namespace calcdb

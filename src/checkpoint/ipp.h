@@ -50,13 +50,15 @@ class IppCheckpointer : public Checkpointer {
  private:
   IppOptions options_;
 
-  /// Ping-pong copies; arrays_[current_] receives write duplicates.
-  std::vector<Value*> arrays_[2];
-  std::unique_ptr<AtomicBitVector> dirty_bits_[2];
+  /// Ping-pong copies, per shard ([shard][index]); arrays_[current_]
+  /// receives write duplicates.
+  std::vector<std::vector<Value*>> arrays_[2];
+  std::vector<std::unique_ptr<AtomicBitVector>> dirty_bits_[2];
   std::atomic<uint32_t> current_{0};
 
-  /// The last consistent checkpoint, kept in memory as the merge base.
-  std::vector<Value*> snapshot_;
+  /// The last consistent checkpoint, kept in memory as the merge base
+  /// ([shard][index]).
+  std::vector<std::vector<Value*>> snapshot_;
 };
 
 }  // namespace calcdb

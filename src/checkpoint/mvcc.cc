@@ -10,25 +10,32 @@ namespace calcdb {
 MvccCheckpointer::MvccCheckpointer(EngineContext engine,
                                    MvccOptions options)
     : Checkpointer(engine), options_(options) {
-  heads_.assign(engine_.store->max_records(), nullptr);
+  uint32_t nshards = engine_.store->num_shards();
+  heads_.resize(nshards);
   // Migrate the loaded database into version chains: one version per
   // record, stamped 0 (before any possible point of consistency). The
   // node shares the live buffer — no copy.
-  uint32_t slots = engine_.store->NumSlots();
-  for (uint32_t idx = 0; idx < slots; ++idx) {
-    Record* rec = engine_.store->ByIndex(idx);
-    SpinLatchGuard guard(rec->latch);
-    if (Record::IsRealValue(rec->live)) {
-      heads_[idx] = new VersionNode{Value::Ref(rec->live), 0, nullptr};
-      live_versions_.fetch_add(1, std::memory_order_relaxed);
+  for (uint32_t s = 0; s < nshards; ++s) {
+    KVStore* shard = engine_.store->shard(s);
+    heads_[s].assign(shard->max_records(), nullptr);
+    uint32_t slots = shard->NumSlots();
+    for (uint32_t idx = 0; idx < slots; ++idx) {
+      Record* rec = shard->ByIndex(idx);
+      SpinLatchGuard guard(rec->latch);
+      if (Record::IsRealValue(rec->live)) {
+        heads_[s][idx] = new VersionNode{Value::Ref(rec->live), 0, nullptr};
+        live_versions_.fetch_add(1, std::memory_order_relaxed);
+      }
     }
   }
 }
 
 MvccCheckpointer::~MvccCheckpointer() {
-  for (VersionNode*& head : heads_) {
-    FreeChain(head);
-    head = nullptr;
+  for (auto& shard_heads : heads_) {
+    for (VersionNode*& head : shard_heads) {
+      FreeChain(head);
+      head = nullptr;
+    }
   }
 }
 
@@ -54,13 +61,13 @@ void MvccCheckpointer::ApplyWrite(Txn& txn, Record& rec, Value* new_val) {
   SpinLatchGuard guard(rec.latch);
   // Append the new version (unstamped until the commit token assigns its
   // LSN) and sync the live pointer.
+  VersionNode*& head_slot = heads_[rec.shard][rec.index];
   VersionNode* node = new VersionNode{
       new_val != nullptr ? Value::Ref(new_val) : nullptr, kUnstamped,
-      heads_[rec.index]};
-  heads_[rec.index] = node;
+      head_slot};
+  head_slot = node;
   live_versions_.fetch_add(1, std::memory_order_relaxed);
-  if (Record::IsRealValue(rec.live)) Value::Unref(rec.live);
-  rec.live = new_val;
+  engine_.store->ReplaceLive(rec, new_val);
 
   if (!options_.eager_gc) return;
 
@@ -105,7 +112,7 @@ void MvccCheckpointer::OnCommit(Txn& txn) {
   // release, so the next writer of each record sees a stamped head.
   for (Record* rec : txn.written_records) {
     SpinLatchGuard guard(rec->latch);
-    VersionNode* head = heads_[rec->index];
+    VersionNode* head = heads_[rec->shard][rec->index];
     assert(head != nullptr);
     if (head != nullptr && head->stamp == kUnstamped) {
       head->stamp = txn.commit_lsn;
@@ -124,10 +131,13 @@ Status MvccCheckpointer::RunCheckpointCycle() {
   // capture flag and watermark publish inside the log latch so that no
   // commit can order after the token yet be garbage-collected as if it
   // preceded it.
-  uint32_t slots_at_poc = 0;
+  uint32_t nshards = engine_.store->num_shards();
+  std::vector<uint32_t> slots_at_poc(nshards, 0);
   uint64_t poc_lsn = engine_.log->AppendPhaseTransition(
       Phase::kResolve, id, /*pc=*/nullptr, [&] {
-        slots_at_poc = engine_.store->NumSlots();
+        for (uint32_t s = 0; s < nshards; ++s) {
+          slots_at_poc[s] = engine_.store->shard(s)->NumSlots();
+        }
         capture_lsn_.store(engine_.log->SizeLocked(),
                            std::memory_order_release);
         capture_active_.store(true, std::memory_order_release);
@@ -141,8 +151,8 @@ Status MvccCheckpointer::RunCheckpointCycle() {
       writer.Open(path, CheckpointType::kFull, id, poc_lsn,
                   engine_.ckpt_storage->writer_options()));
 
-  for (uint32_t idx = 0; idx < slots_at_poc; ++idx) {
-    Record* rec = engine_.store->ByIndex(idx);
+  auto capture_record = [&](uint32_t s, uint32_t idx) -> Status {
+    Record* rec = engine_.store->shard(s)->ByIndex(idx);
     Value* to_write = nullptr;
     uint64_t key = 0;
     for (;;) {
@@ -150,7 +160,7 @@ Status MvccCheckpointer::RunCheckpointCycle() {
       {
         SpinLatchGuard guard(rec->latch);
         key = rec->key;
-        VersionNode* head = heads_[idx];
+        VersionNode* head = heads_[s][idx];
         if (head != nullptr && head->stamp == kUnstamped) {
           // Writer mid-commit: its LSN relative to the token is not
           // known yet. Retry after sleeping OUTSIDE the latch, or the
@@ -177,10 +187,17 @@ Status MvccCheckpointer::RunCheckpointCycle() {
       if (!writer_mid_commit) break;
       SleepMicros(10);
     }
+    Status append_st;
     if (to_write != nullptr) {
-      Status st = writer.Append(key, to_write->data());
+      append_st = writer.Append(key, to_write->data());
       Value::Unref(to_write);
-      CALCDB_RETURN_NOT_OK(st);
+    }
+    return append_st;
+  };
+
+  for (uint32_t s = 0; s < nshards; ++s) {
+    for (uint32_t idx = 0; idx < slots_at_poc[s]; ++idx) {
+      CALCDB_RETURN_NOT_OK(capture_record(s, idx));
     }
   }
   CALCDB_RETURN_NOT_OK(writer.Finish());

@@ -71,9 +71,9 @@ class MvccCheckpointer : public Checkpointer {
 
   MvccOptions options_;
 
-  /// Version chain heads, indexed by record index. Guarded by the
+  /// Version chain heads, per shard ([shard][index]). Guarded by the
   /// record's micro-latch.
-  std::vector<VersionNode*> heads_;
+  std::vector<std::vector<VersionNode*>> heads_;
 
   /// Capture coordination for eager GC: while a capture at LSN V runs,
   /// writers must retain the newest version with stamp <= V.

@@ -10,9 +10,13 @@ NaiveSnapshotCheckpointer::NaiveSnapshotCheckpointer(EngineContext engine,
                                                      NaiveOptions options)
     : Checkpointer(engine), options_(options) {
   if (options_.partial) {
+    uint32_t nshards = engine_.store->num_shards();
     for (int i = 0; i < 2; ++i) {
-      dirty_[i] = std::make_unique<DirtyKeyTracker>(
-          options_.tracker, engine_.store->max_records());
+      dirty_[i].reserve(nshards);
+      for (uint32_t s = 0; s < nshards; ++s) {
+        dirty_[i].emplace_back(std::make_unique<DirtyKeyTracker>(
+            options_.tracker, engine_.store->shard(s)->max_records()));
+      }
     }
   }
 }
@@ -21,16 +25,14 @@ void NaiveSnapshotCheckpointer::ApplyWrite(Txn& txn, Record& rec,
                                            Value* new_val) {
   (void)txn;
   SpinLatchGuard guard(rec.latch);
-  if (Record::IsRealValue(rec.live)) Value::Unref(rec.live);
-  rec.live = new_val;
+  engine_.store->ReplaceLive(rec, new_val);
 }
 
 void NaiveSnapshotCheckpointer::OnCommit(Txn& txn) {
   if (!options_.partial || txn.written_records.empty()) return;
-  DirtyKeyTracker& dirty =
-      *dirty_[active_dirty_.load(std::memory_order_acquire)];
+  uint32_t side = active_dirty_.load(std::memory_order_acquire);
   for (Record* rec : txn.written_records) {
-    dirty.Mark(rec->index);
+    dirty_[side][rec->shard]->Mark(rec->index);
   }
 }
 
@@ -57,31 +59,39 @@ Status NaiveSnapshotCheckpointer::RunCheckpointCycle() {
         CALCDB_RETURN_NOT_OK(
             writer.Open(path, type, id, poc_lsn,
                         engine_.ckpt_storage->writer_options()));
-        uint32_t slots = engine_.store->NumSlots();
+        uint32_t nshards = engine_.store->num_shards();
         if (options_.partial) {
           // No transactions are active: capture the side that was being
           // marked, and flip marking to the other (cleared) side.
           uint32_t capture =
               active_dirty_.load(std::memory_order_acquire);
           active_dirty_.store(1 - capture, std::memory_order_release);
-          Status scan_st;
-          dirty_[capture]->ForEach(slots, [&](uint32_t idx) {
-            if (!scan_st.ok()) return;
-            Record* rec = engine_.store->ByIndex(idx);
-            if (Record::IsRealValue(rec->live)) {
-              scan_st = writer.Append(rec->key, rec->live->data());
-            } else if (rec->key != ~uint64_t{0}) {
-              scan_st = writer.AppendTombstone(rec->key);
-            }
-          });
-          CALCDB_RETURN_NOT_OK(scan_st);
-          dirty_[capture]->Clear();
+          for (uint32_t s = 0; s < nshards; ++s) {
+            KVStore* shard = engine_.store->shard(s);
+            Status scan_st;
+            dirty_[capture][s]->ForEach(shard->NumSlots(), [&](uint32_t
+                                                                   idx) {
+              if (!scan_st.ok()) return;
+              Record* rec = shard->ByIndex(idx);
+              if (Record::IsRealValue(rec->live)) {
+                scan_st = writer.Append(rec->key, rec->live->data());
+              } else if (rec->key != ~uint64_t{0}) {
+                scan_st = writer.AppendTombstone(rec->key);
+              }
+            });
+            CALCDB_RETURN_NOT_OK(scan_st);
+            dirty_[capture][s]->Clear();
+          }
         } else {
-          for (uint32_t idx = 0; idx < slots; ++idx) {
-            Record* rec = engine_.store->ByIndex(idx);
-            if (Record::IsRealValue(rec->live)) {
-              CALCDB_RETURN_NOT_OK(
-                  writer.Append(rec->key, rec->live->data()));
+          for (uint32_t s = 0; s < nshards; ++s) {
+            KVStore* shard = engine_.store->shard(s);
+            uint32_t slots = shard->NumSlots();
+            for (uint32_t idx = 0; idx < slots; ++idx) {
+              Record* rec = shard->ByIndex(idx);
+              if (Record::IsRealValue(rec->live)) {
+                CALCDB_RETURN_NOT_OK(
+                    writer.Append(rec->key, rec->live->data()));
+              }
             }
           }
         }

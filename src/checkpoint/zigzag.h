@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <memory>
+#include <vector>
 
 #include "checkpoint/checkpointer.h"
 #include "checkpoint/dirty_tracker.h"
@@ -56,10 +57,13 @@ class ZigzagCheckpointer : public Checkpointer {
 
   ZigzagOptions options_;
 
-  AtomicBitVector mr_;  ///< MR[key]: version to read
-  AtomicBitVector mw_;  ///< MW[key]: version to overwrite
+  /// MR[key] / MW[key], one bit vector per shard (indexed by the shard's
+  /// own dense record indexes).
+  std::vector<std::unique_ptr<AtomicBitVector>> mr_;  ///< version to read
+  std::vector<std::unique_ptr<AtomicBitVector>> mw_;  ///< version to write
 
-  std::unique_ptr<DirtyKeyTracker> dirty_[2];
+  /// Double-buffered dirty sets, one tracker per shard.
+  std::vector<std::unique_ptr<DirtyKeyTracker>> dirty_[2];
   std::atomic<uint32_t> active_dirty_{0};
 };
 

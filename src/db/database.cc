@@ -119,6 +119,10 @@ int Database::ResolvedReplayThreads(const Options& options) {
                              "CALCDB_REPLAY_THREADS", 1);
 }
 
+uint32_t Database::ResolvedStorageShards(const Options& options) {
+  return ShardedStore::ResolveShards(options.storage_shards);
+}
+
 bool Database::ResolvedAsyncIo(const Options& options) {
   if (options.ckpt_async_io != 0) return options.ckpt_async_io > 0;
   const char* env = std::getenv("CALCDB_CKPT_ASYNC_IO");
@@ -128,9 +132,10 @@ bool Database::ResolvedAsyncIo(const Options& options) {
 Database::Database(const Options& options)
     : options_(options),
       pool_(options.use_value_pool ? new ValuePool() : nullptr),
-      store_(new KVStore(options.max_records, pool_.get())),
+      store_(new ShardedStore(options.max_records,
+                              ResolvedStorageShards(options), pool_.get())),
       ckpt_storage_(options.checkpoint_dir, options.disk_bytes_per_sec),
-      lock_manager_(options.lock_stripes) {
+      lock_manager_(options.lock_stripes, store_->num_shards()) {
   CheckpointWriterOptions writer_options;
   writer_options.block_bytes = options.ckpt_block_bytes;
   writer_options.async_io = ResolvedAsyncIo(options);
@@ -266,13 +271,14 @@ Status Database::WriteBaseCheckpoint() {
   CALCDB_RETURN_NOT_OK(writer.Open(path, CheckpointType::kFull, id,
                                    poc_lsn,
                                    ckpt_storage_.writer_options()));
-  uint32_t slots = store_->NumSlots();
-  for (uint32_t idx = 0; idx < slots; ++idx) {
-    Record* rec = store_->ByIndex(idx);
+  Status append_st;
+  store_->ForEachRecord([&](Record* rec) {
+    if (!append_st.ok()) return;
     if (Record::IsRealValue(rec->live)) {
-      CALCDB_RETURN_NOT_OK(writer.Append(rec->key, rec->live->data()));
+      append_st = writer.Append(rec->key, rec->live->data());
     }
-  }
+  });
+  CALCDB_RETURN_NOT_OK(append_st);
   CALCDB_RETURN_NOT_OK(writer.Finish());
   if (!options_.command_log_path.empty()) {
     // Durability barrier (the pre-Start analogue of
@@ -530,7 +536,9 @@ std::string Database::GetStatsString() const {
   out += "calcdb.algorithm: ";
   out += AlgorithmName(options_.algorithm);
   out += "\n";
-  line("store.slots", store_->NumSlots());
+  line("store.slots", store_->TotalSlots());
+  line("store.shards", store_->num_shards());
+  line("store.present", store_->CountPresent());
   line("store.max_records", options_.max_records);
   if (executor_ != nullptr) {
     line("txn.committed", executor_->committed());

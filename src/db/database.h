@@ -17,7 +17,7 @@
 #include "obs/health.h"
 #include "obs/stats_reporter.h"
 #include "recovery/recovery_manager.h"
-#include "storage/kv_store.h"
+#include "storage/sharded_store.h"
 #include "txn/executor.h"
 #include "txn/lock_manager.h"
 #include "txn/procedure.h"
@@ -124,7 +124,7 @@ class Database {
   std::string GetStatsString() const;
 
   Executor* executor() { return executor_.get(); }
-  KVStore* store() { return store_.get(); }
+  ShardedStore* store() { return store_.get(); }
   CommitLog* commit_log() { return &log_; }
   CheckpointStorage* checkpoint_storage() { return &ckpt_storage_; }
   Checkpointer* checkpointer() { return checkpointer_.get(); }
@@ -147,6 +147,10 @@ class Database {
   static int ResolvedRecoveryThreads(const Options& options);
   static int ResolvedReplayThreads(const Options& options);
 
+  /// Resolves Options::storage_shards, applying the 0 = auto rule
+  /// (CALCDB_STORAGE_SHARDS environment variable, else 1).
+  static uint32_t ResolvedStorageShards(const Options& options);
+
   /// Resolves Options::ckpt_async_io, applying the 0 = auto rule (on iff
   /// the CALCDB_CKPT_ASYNC_IO environment variable is a positive
   /// integer).
@@ -161,7 +165,7 @@ class Database {
 
   Options options_;
   std::unique_ptr<ValuePool> pool_;
-  std::unique_ptr<KVStore> store_;
+  std::unique_ptr<ShardedStore> store_;
   CommitLog log_;
   PhaseController phases_;
   AdmissionGate gate_;

@@ -54,7 +54,17 @@ struct Options {
   /// disk at 100-150 MB/s sequential). 0 disables throttling.
   uint64_t disk_bytes_per_sec = 125ull << 20;
 
-  /// Lock-table stripes for the deadlock-free 2PL lock manager.
+  /// Storage-engine partitions (storage/sharded_store.h). Keys hash onto
+  /// shards; each shard owns an independent bucket array, record arena,
+  /// dense index space, and present counter, and checkpoint capture
+  /// aligns its segments with shards. 1 is the legacy single-store
+  /// engine, byte-identical checkpoint streams included. 0 means auto:
+  /// the CALCDB_STORAGE_SHARDS environment variable if set, else 1.
+  int storage_shards = 0;
+
+  /// Lock-table stripes for the deadlock-free 2PL lock manager. With
+  /// storage_shards > 1 the stripes split into per-shard arrays of
+  /// roughly lock_stripes / storage_shards each (floored at 64).
   size_t lock_stripes = 1 << 16;
 
   /// Checkpoint capture-phase worker threads (CALC/pCALC). 1 keeps the

@@ -65,7 +65,7 @@ Status ValidateCheckpointFile(const std::string& path,
 
 /// Applies one (already validated) checkpoint file into the store.
 Status ApplyCheckpointFile(const std::string& path,
-                           size_t read_ahead_bytes, KVStore* store,
+                           size_t read_ahead_bytes, ShardedStore* store,
                            std::atomic<uint64_t>* entries_applied) {
   CheckpointFileReader reader;
   CALCDB_RETURN_NOT_OK(reader.Open(path, read_ahead_bytes));
@@ -92,7 +92,7 @@ Status ApplyCheckpointFile(const std::string& path,
 }  // namespace
 
 Status RecoveryManager::LoadCheckpoints(CheckpointStorage* storage,
-                                        KVStore* store, RecoveryStats* stats,
+                                        ShardedStore* store, RecoveryStats* stats,
                                         int load_threads) {
   Stopwatch sw;
   CALCDB_TRACE_SPAN(load_span, "load_checkpoints", "recovery", 0);
@@ -168,7 +168,7 @@ Status RecoveryManager::LoadCheckpoints(CheckpointStorage* storage,
 
 Status RecoveryManager::ReplayLog(const CommitLog& log,
                                   const ProcedureRegistry& registry,
-                                  KVStore* store, RecoveryStats* stats,
+                                  ShardedStore* store, RecoveryStats* stats,
                                   int replay_threads) {
   Stopwatch sw;
   ReplayScheduler replayer(registry, store, replay_threads);
@@ -185,7 +185,7 @@ Status RecoveryManager::ReplayLog(const CommitLog& log,
 
 Status RecoveryManager::ReplayLogGenerations(
     const std::vector<std::string>& files,
-    const ProcedureRegistry& registry, KVStore* store,
+    const ProcedureRegistry& registry, ShardedStore* store,
     RecoveryStats* stats, int replay_threads,
     size_t log_read_ahead_bytes) {
   Stopwatch sw;
@@ -278,7 +278,7 @@ Status RecoveryManager::ReplayLogGenerations(
 Status RecoveryManager::Recover(CheckpointStorage* storage,
                                 const CommitLog& log,
                                 const ProcedureRegistry& registry,
-                                KVStore* store, RecoveryStats* stats,
+                                ShardedStore* store, RecoveryStats* stats,
                                 int load_threads, int replay_threads) {
   CALCDB_RETURN_NOT_OK(LoadCheckpoints(storage, store, stats, load_threads));
   return ReplayLog(log, registry, store, stats, replay_threads);

@@ -7,7 +7,7 @@
 
 #include "checkpoint/ckpt_storage.h"
 #include "log/commit_log.h"
-#include "storage/kv_store.h"
+#include "storage/sharded_store.h"
 #include "txn/procedure.h"
 #include "util/status.h"
 
@@ -78,7 +78,7 @@ class RecoveryManager {
   /// parallel worker pool (segments of one checkpoint hold disjoint keys;
   /// checkpoints still apply in chain order so latest-wins is preserved).
   [[nodiscard]] static Status LoadCheckpoints(CheckpointStorage* storage,
-                                              KVStore* store,
+                                              ShardedStore* store,
                                               RecoveryStats* stats,
                                               int load_threads = 1);
 
@@ -91,7 +91,7 @@ class RecoveryManager {
   /// byte-identical to serial replay. 1 is the legacy serial loop.
   [[nodiscard]] static Status ReplayLog(const CommitLog& log,
                                         const ProcedureRegistry& registry,
-                                        KVStore* store, RecoveryStats* stats,
+                                        ShardedStore* store, RecoveryStats* stats,
                                         int replay_threads = 1);
 
   /// Replays a sequence of streamed command-log generation files (oldest
@@ -118,7 +118,7 @@ class RecoveryManager {
   /// breakdown.
   [[nodiscard]] static Status ReplayLogGenerations(
       const std::vector<std::string>& files,
-      const ProcedureRegistry& registry, KVStore* store,
+      const ProcedureRegistry& registry, ShardedStore* store,
       RecoveryStats* stats, int replay_threads = 1,
       size_t log_read_ahead_bytes = 0);
 
@@ -126,7 +126,7 @@ class RecoveryManager {
   [[nodiscard]] static Status Recover(CheckpointStorage* storage,
                                       const CommitLog& log,
                                       const ProcedureRegistry& registry,
-                                      KVStore* store, RecoveryStats* stats,
+                                      ShardedStore* store, RecoveryStats* stats,
                                       int load_threads = 1,
                                       int replay_threads = 1);
 };

@@ -12,7 +12,7 @@
 namespace calcdb {
 
 ReplayScheduler::ReplayScheduler(const ProcedureRegistry& registry,
-                                 KVStore* store, int threads)
+                                 ShardedStore* store, int threads)
     : registry_(&registry), threads_(threads < 1 ? 1 : threads) {
   engine_.store = store;
   engine_.log = &scratch_log_;

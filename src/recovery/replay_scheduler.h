@@ -14,7 +14,7 @@
 #include "checkpoint/checkpointer.h"
 #include "checkpoint/phase.h"
 #include "log/commit_log.h"
-#include "storage/kv_store.h"
+#include "storage/sharded_store.h"
 #include "txn/executor.h"
 #include "txn/lock_manager.h"
 #include "txn/procedure.h"
@@ -66,7 +66,7 @@ class ReplayScheduler {
  public:
   /// `registry` and `store` must outlive the scheduler. `threads > 1`
   /// spawns the worker pool immediately; it is joined by the destructor.
-  ReplayScheduler(const ProcedureRegistry& registry, KVStore* store,
+  ReplayScheduler(const ProcedureRegistry& registry, ShardedStore* store,
                   int threads);
   ~ReplayScheduler();
 

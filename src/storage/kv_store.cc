@@ -23,9 +23,10 @@ size_t NextPow2(uint64_t n) {
 
 }  // namespace
 
-KVStore::KVStore(uint64_t max_records, ValuePool* pool)
+KVStore::KVStore(uint64_t max_records, ValuePool* pool, uint32_t shard_id)
     : max_records_(max_records),
       pool_(pool),
+      shard_id_(shard_id),
       bucket_mask_(NextPow2(max_records + max_records / 2 + 64) - 1),
       buckets_(bucket_mask_ + 1) {
   for (auto& b : buckets_) b.store(nullptr, std::memory_order_relaxed);
@@ -71,6 +72,7 @@ Record* KVStore::AllocateRecord(uint64_t key) {
   Record* rec = &chunks_[chunk][offset];
   rec->key = key;
   rec->index = index;
+  rec->shard = shard_id_;
   // Publish the slot count after the record is initialised.
   num_slots_.store(index + 1, std::memory_order_release);
   return rec;
@@ -117,8 +119,7 @@ Status KVStore::Put(uint64_t key, std::string_view value) {
   if (rec == nullptr) return Status::Busy("store at max_records capacity");
   Value* v = Value::Create(value, pool_);
   SpinLatchGuard guard(rec->latch);
-  if (Record::IsRealValue(rec->live)) Value::Unref(rec->live);
-  rec->live = v;
+  ReplaceLive(*rec, v);
   return Status::OK();
 }
 
@@ -133,16 +134,14 @@ Status KVStore::Get(uint64_t key, std::string* value) const {
 
 Status KVStore::Delete(uint64_t key) {
   Record* rec = Find(key);
-  if (rec == nullptr || !Record::IsRealValue(rec->live)) {
-    return Status::NotFound();
-  }
+  if (rec == nullptr) return Status::NotFound();
   SpinLatchGuard guard(rec->latch);
-  Value::Unref(rec->live);
-  rec->live = nullptr;
+  if (!Record::IsRealValue(rec->live)) return Status::NotFound();
+  ReplaceLive(*rec, nullptr);
   return Status::OK();
 }
 
-uint64_t KVStore::CountPresent() const {
+uint64_t KVStore::CountPresentSlow() const {
   uint64_t n = 0;
   uint32_t slots = NumSlots();
   for (uint32_t i = 0; i < slots; ++i) {

@@ -32,7 +32,11 @@ class KVStore {
  public:
   /// `max_records`: hard cap on distinct keys ever inserted.
   /// `pool`: optional value pool for allocation recycling (may be null).
-  explicit KVStore(uint64_t max_records, ValuePool* pool = nullptr);
+  /// `shard_id`: stamped into every allocated Record (storage/record.h),
+  /// so layers holding a bare Record* can route back to the owning
+  /// partition of a ShardedStore. 0 for a standalone store.
+  explicit KVStore(uint64_t max_records, ValuePool* pool = nullptr,
+                   uint32_t shard_id = 0);
   ~KVStore();
 
   KVStore(const KVStore&) = delete;
@@ -56,6 +60,7 @@ class KVStore {
 
   uint64_t max_records() const { return max_records_; }
   ValuePool* pool() const { return pool_; }
+  uint32_t shard_id() const { return shard_id_; }
 
   /// Convenience non-transactional accessors (loading, tests, recovery).
   /// Not for use while worker threads are running.
@@ -63,8 +68,33 @@ class KVStore {
   [[nodiscard]] Status Get(uint64_t key, std::string* value) const;
   [[nodiscard]] Status Delete(uint64_t key);
 
-  /// Number of present (non-tombstone) records. O(slots).
-  uint64_t CountPresent() const;
+  /// Number of present (non-tombstone) records. O(1): a relaxed counter
+  /// maintained at every absent<->present live-pointer transition (Put /
+  /// Delete here, ReplaceLive for the transactional write paths). Racing
+  /// writers may make the value momentarily stale, never drifting — the
+  /// counter moves with the transition itself, under the record latch.
+  uint64_t CountPresent() const {
+    int64_t n = present_.load(std::memory_order_relaxed);
+    return n > 0 ? static_cast<uint64_t>(n) : 0;
+  }
+
+  /// O(slots) scan oracle for CountPresent(), kept for tests that pin the
+  /// counter against ground truth. Not for hot paths.
+  uint64_t CountPresentSlow() const;
+
+  /// The single mutation point for `rec.live` once a store is running:
+  /// releases the old owned reference, installs `new_val` (ownership
+  /// transfers; may be nullptr for a tombstone), and moves the present
+  /// counter across absent<->present transitions. Caller holds rec.latch.
+  void ReplaceLive(Record& rec, Value* new_val) {
+    bool was = Record::IsRealValue(rec.live);
+    bool now = Record::IsRealValue(new_val);
+    if (Record::IsRealValue(rec.live)) Value::Unref(rec.live);
+    rec.live = new_val;
+    if (was != now) {
+      present_.fetch_add(now ? 1 : -1, std::memory_order_relaxed);
+    }
+  }
 
  private:
   static constexpr size_t kChunkShift = 16;  // 64K records per arena chunk
@@ -74,8 +104,10 @@ class KVStore {
 
   uint64_t max_records_;
   ValuePool* pool_;
+  uint32_t shard_id_;
   size_t bucket_mask_;
   std::vector<std::atomic<Record*>> buckets_;
+  std::atomic<int64_t> present_{0};
 
   // Arena of record slots, chunked so that Record* stay valid forever.
   mutable SpinLatch arena_latch_;

@@ -44,7 +44,8 @@ struct Record {
   }
 
   uint64_t key = 0;
-  uint32_t index = 0;  ///< dense index for bit vectors / sidecar arrays
+  uint32_t index = 0;  ///< dense *per-shard* index for bit vectors / sidecars
+  uint32_t shard = 0;  ///< owning partition (0 in a single-shard store)
   SpinLatch latch;
 
   /// CALC's per-record stable-status, generalized from the paper's bit

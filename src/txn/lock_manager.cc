@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "storage/sharded_store.h"
+
 namespace calcdb {
 
 namespace {
@@ -12,30 +14,45 @@ size_t NextPow2(size_t n) {
 }
 }  // namespace
 
-LockManager::LockManager(size_t num_stripes)
-    : stripes_(NextPow2(num_stripes)), mask_(stripes_.size() - 1) {}
+LockManager::LockManager(size_t num_stripes, uint32_t num_shards) {
+  if (num_shards == 0) num_shards = 1;
+  // Keep the total stripe count roughly constant as the shard count grows:
+  // each shard gets its proportional slice (floored at 64 so tiny
+  // configurations still spread contention).
+  size_t per_shard = NextPow2(std::max<size_t>(num_stripes / num_shards, 64));
+  stripes_per_shard_ = per_shard;
+  mask_ = per_shard - 1;
+  shards_.reserve(num_shards);
+  for (uint32_t s = 0; s < num_shards; ++s) {
+    shards_.emplace_back(new RWSpinLock[per_shard]);
+  }
+}
 
-uint32_t LockManager::StripeFor(uint64_t key) const {
+LockManager::StripeLock LockManager::ResolveKey(uint64_t key,
+                                                bool exclusive) const {
+  uint32_t shard = ShardedStore::ShardOfKey(
+      key, static_cast<uint32_t>(shards_.size()));
   uint64_t x = key * 0x9e3779b97f4a7c15ULL;
   x ^= x >> 29;
-  return static_cast<uint32_t>(x & mask_);
+  return {shard, static_cast<uint32_t>(x & mask_), exclusive};
 }
 
 LockManager::LockSet LockManager::Resolve(const KeySets& sets) const {
   LockSet out;
   out.reserve(sets.read_keys.size() + sets.write_keys.size());
   for (uint64_t k : sets.write_keys) {
-    out.push_back({StripeFor(k), true});
+    out.push_back(ResolveKey(k, true));
   }
   for (uint64_t k : sets.read_keys) {
-    out.push_back({StripeFor(k), false});
+    out.push_back(ResolveKey(k, false));
   }
   std::sort(out.begin(), out.end());
   // Deduplicate stripes; exclusive wins. Writes sort before reads within a
   // stripe only by construction order, so merge modes explicitly.
   LockSet dedup;
   for (const StripeLock& sl : out) {
-    if (!dedup.empty() && dedup.back().stripe == sl.stripe) {
+    if (!dedup.empty() && dedup.back().shard == sl.shard &&
+        dedup.back().stripe == sl.stripe) {
       dedup.back().exclusive |= sl.exclusive;
     } else {
       dedup.push_back(sl);
@@ -48,9 +65,9 @@ void LockManager::AcquireAll(const LockSet& set)
     CALCDB_NO_THREAD_SAFETY_ANALYSIS {
   for (const StripeLock& sl : set) {
     if (sl.exclusive) {
-      stripes_[sl.stripe].Lock();
+      shards_[sl.shard][sl.stripe].Lock();
     } else {
-      stripes_[sl.stripe].LockShared();
+      shards_[sl.shard][sl.stripe].LockShared();
     }
   }
 }
@@ -59,9 +76,9 @@ void LockManager::ReleaseAll(const LockSet& set)
     CALCDB_NO_THREAD_SAFETY_ANALYSIS {
   for (const StripeLock& sl : set) {
     if (sl.exclusive) {
-      stripes_[sl.stripe].Unlock();
+      shards_[sl.shard][sl.stripe].Unlock();
     } else {
-      stripes_[sl.stripe].UnlockShared();
+      shards_[sl.shard][sl.stripe].UnlockShared();
     }
   }
 }

@@ -5,7 +5,7 @@
 #include <string_view>
 #include <vector>
 
-#include "storage/kv_store.h"
+#include "storage/sharded_store.h"
 #include "txn/procedure.h"
 #include "txn/txn.h"
 #include "util/status.h"
@@ -26,7 +26,7 @@ class Checkpointer;
 /// only if procedures touch exactly the keys they declared).
 class TxnContext {
  public:
-  TxnContext(KVStore* store, Checkpointer* ckpt, Txn* txn,
+  TxnContext(ShardedStore* store, Checkpointer* ckpt, Txn* txn,
              const KeySets* sets)
       : store_(store), ckpt_(ckpt), txn_(txn), sets_(sets) {}
 
@@ -55,7 +55,7 @@ class TxnContext {
   bool KeyDeclared(uint64_t key, bool for_write) const;
   const BufferedWrite* FindBuffered(uint64_t key) const;
 
-  KVStore* store_;
+  ShardedStore* store_;
   Checkpointer* ckpt_;
   Txn* txn_;
   const KeySets* sets_;

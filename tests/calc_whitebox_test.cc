@@ -258,9 +258,8 @@ TEST(CalcWhiteboxTest, CommitInResolveExcludedFromCheckpoint) {
   ASSERT_TRUE(db->Read(4, &value).ok());
   EXPECT_EQ(value, "b_resolve_write");
   // And no stable versions linger.
-  for (uint32_t idx = 0; idx < db->store()->NumSlots(); ++idx) {
-    EXPECT_EQ(db->store()->ByIndex(idx)->stable, nullptr);
-  }
+  db->store()->ForEachRecord(
+      [&](Record* rec) { EXPECT_EQ(rec->stable, nullptr); });
 }
 
 TEST(CalcWhiteboxTest, InsertAfterVpocExcludedDeleteCaptured) {

@@ -260,10 +260,9 @@ TEST(CalcTest, NoResidualStableVersionsAfterCycle) {
 
   // After the cycle returns to rest, every stable slot must be empty:
   // CALC "requires no extra space most of the time" (Figure 6).
-  uint32_t slots = db->store()->NumSlots();
-  for (uint32_t idx = 0; idx < slots; ++idx) {
-    EXPECT_EQ(db->store()->ByIndex(idx)->stable, nullptr) << idx;
-  }
+  db->store()->ForEachRecord([&](Record* rec) {
+    EXPECT_EQ(rec->stable, nullptr) << rec->key;
+  });
 }
 
 TEST(CalcTest, GateNeverClosedDuringCheckpoint) {

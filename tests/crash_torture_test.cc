@@ -201,13 +201,12 @@ void VerifyRecovery(const std::string& dir, const TortureConfig& config,
   // Read the recovered state straight off the store (the database is
   // never Start()ed: that would open a fresh log generation).
   StateMap recovered;
-  for (uint32_t idx = 0; idx < db->store()->NumSlots(); ++idx) {
-    Record* rec = db->store()->ByIndex(idx);
-    if (rec->key == ~uint64_t{0}) continue;
+  db->store()->ForEachRecord([&](Record* rec) {
+    if (rec->key == ~uint64_t{0}) return;
     std::string value;
     ASSERT_TRUE(db->store()->Get(rec->key, &value).ok());
     recovered[rec->key] = std::move(value);
-  }
+  });
 
   // Invariant 2: balance conservation over the original key domain.
   int64_t sum = 0;

@@ -1,0 +1,30 @@
+// expect-lint: none
+//
+// The compliant twin: per-shard striped acquisition in (shard, stripe)
+// order from a function annotated with the thread-safety opt-out —
+// the shape LockManager::AcquireAll has in the real tree
+// (txn/lock_manager.cc).
+
+#include "util/latch.h"
+
+namespace calcdb {
+
+struct StripeLock {
+  unsigned shard;
+  unsigned stripe;
+};
+
+class GoodStriped {
+ public:
+  void AcquireAll(const StripeLock* set,
+                  unsigned n) CALCDB_NO_THREAD_SAFETY_ANALYSIS {
+    for (unsigned i = 0; i < n; ++i) {
+      stripes_[set[i].shard][set[i].stripe].Lock();
+    }
+  }
+
+ private:
+  RWSpinLock stripes_[4][64];
+};
+
+}  // namespace calcdb

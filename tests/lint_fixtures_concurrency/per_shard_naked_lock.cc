@@ -1,0 +1,29 @@
+// expect-lint: naked-lock
+//
+// A naked lock call on an indexed per-shard latch member: striped
+// latch arrays (txn/lock_manager.h) are acquired in (shard, stripe)
+// lexicographic order from annotated LockManager methods only. The
+// enclosing function carries no thread-safety annotation and no
+// naked-lock-ok waiver, so the rule must fire — with the per-shard
+// message, not the generic one.
+
+#include "util/latch.h"
+
+namespace calcdb {
+
+struct StripeLock {
+  unsigned shard;
+  unsigned stripe;
+};
+
+class BadStriped {
+ public:
+  void AcquireOne(const StripeLock& sl) {
+    stripes_[sl.shard][sl.stripe].Lock();
+  }
+
+ private:
+  RWSpinLock stripes_[4][64];
+};
+
+}  // namespace calcdb

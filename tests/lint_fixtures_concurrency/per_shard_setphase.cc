@@ -1,0 +1,24 @@
+// expect-lint: phase-token-latch
+//
+// SetPhase through a per-shard controller member outside
+// CommitLog::AppendPhaseTransition: phase transitions must be written
+// under the commit-log latch, atomically with their log token (paper
+// §2.2), no matter how the controller is reached.
+
+#include "checkpoint/phase.h"
+
+namespace calcdb {
+
+class BadFanout {
+ public:
+  void Broadcast(Phase p) {
+    for (unsigned s = 0; s < 4; ++s) {
+      phases_[s]->SetPhase(p);
+    }
+  }
+
+ private:
+  PhaseController* phases_[4];
+};
+
+}  // namespace calcdb

@@ -143,7 +143,7 @@ TEST(DriverTest, OpenLoopOverloadAccumulatesLatency) {
 TEST(ReplayEdgeTest, ReplayUnknownProcedureFails) {
   CommitLog log;
   log.AppendCommit(1, /*proc_id=*/424242, "args");
-  KVStore store(64);
+  ShardedStore store(64);
   ProcedureRegistry registry;  // empty
   RecoveryStats stats;
   Status st = RecoveryManager::ReplayLog(log, registry, &store, &stats);

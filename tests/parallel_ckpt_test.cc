@@ -163,9 +163,8 @@ TEST(ParallelCaptureTest, SingleThreadCaptureIsByteStable) {
   AppendPod<uint64_t>(&expected, list[0].vpoc_lsn);
   std::string entries;
   uint64_t count = 0;
-  for (uint32_t idx = 0; idx < db->store()->NumSlots(); ++idx) {
-    Record* rec = db->store()->ByIndex(idx);
-    if (rec->key == ~uint64_t{0}) continue;
+  db->store()->ForEachRecord([&](Record* rec) {
+    if (rec->key == ~uint64_t{0}) return;
     std::string value;
     ASSERT_TRUE(db->Read(rec->key, &value).ok());
     AppendPod<uint64_t>(&entries, rec->key);
@@ -173,7 +172,7 @@ TEST(ParallelCaptureTest, SingleThreadCaptureIsByteStable) {
     AppendPod<uint32_t>(&entries, static_cast<uint32_t>(value.size()));
     entries.append(value);
     ++count;
-  }
+  });
   expected += entries;
   AppendPod<uint64_t>(&expected, ~uint64_t{0});  // footer sentinel key
   AppendPod<uint8_t>(&expected, 0xFF);           // footer flags

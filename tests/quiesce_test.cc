@@ -59,7 +59,7 @@ TEST(AdmissionGateTest, ManyWaitersAllReleased) {
 }
 
 TEST(QuiesceTest, DrainsActiveTransactionsBeforeCritical) {
-  KVStore store(64);
+  ShardedStore store(64);
   CommitLog log;
   PhaseController phases;
   AdmissionGate gate;
@@ -94,7 +94,7 @@ TEST(QuiesceTest, DrainsActiveTransactionsBeforeCritical) {
 }
 
 TEST(QuiesceTest, CriticalErrorStillReopensGate) {
-  KVStore store(64);
+  ShardedStore store(64);
   CommitLog log;
   PhaseController phases;
   AdmissionGate gate;

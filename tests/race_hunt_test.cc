@@ -542,7 +542,7 @@ TEST(RaceHuntTest, ParallelReplayTransfersConserveBalance) {
   }
 
   auto replay = [&](int threads, RecoveryStats* stats) {
-    auto store = std::make_unique<KVStore>(kAccounts + 8);
+    auto store = std::make_unique<ShardedStore>(kAccounts + 8);
     std::string balance(8, '\0');
     for (uint64_t a = 0; a < kAccounts; ++a) {
       std::memcpy(balance.data(), &kInitialBalance, 8);

@@ -76,9 +76,9 @@ std::unique_ptr<ProcedureRegistry> MakeRegistry() {
 }
 
 /// Seeds a fresh store with the deterministic microbench content.
-std::unique_ptr<KVStore> SeedStore(uint64_t num_records,
-                                   uint64_t max_records = 4096) {
-  auto store = std::make_unique<KVStore>(max_records);
+std::unique_ptr<ShardedStore> SeedStore(uint64_t num_records,
+                                        uint64_t max_records = 4096) {
+  auto store = std::make_unique<ShardedStore>(max_records);
   for (uint64_t k = 0; k < num_records; ++k) {
     EXPECT_TRUE(
         store->Put(k, MicrobenchInitialValue(k, kValueSize)).ok());
@@ -86,14 +86,13 @@ std::unique_ptr<KVStore> SeedStore(uint64_t num_records,
   return store;
 }
 
-StateMap StoreToMap(const KVStore& store) {
+StateMap StoreToMap(const ShardedStore& store) {
   StateMap out;
-  for (uint32_t idx = 0; idx < store.NumSlots(); ++idx) {
-    Record* rec = store.ByIndex(idx);
-    if (rec == nullptr || rec->key == ~uint64_t{0}) continue;
+  store.ForEachRecord([&](Record* rec) {
+    if (rec == nullptr || rec->key == ~uint64_t{0}) return;
     std::string value;
     if (store.Get(rec->key, &value).ok()) out[rec->key] = std::move(value);
-  }
+  });
   return out;
 }
 
@@ -119,7 +118,7 @@ void AppendRandomRmws(CommitLog* log, uint64_t num_txns, uint64_t keyspace,
 StateMap ReplayWith(const CommitLog& log, const ProcedureRegistry& registry,
                     int threads, uint64_t num_records,
                     RecoveryStats* stats) {
-  std::unique_ptr<KVStore> store = SeedStore(num_records);
+  std::unique_ptr<ShardedStore> store = SeedStore(num_records);
   EXPECT_TRUE(RecoveryManager::ReplayLog(log, registry, store.get(), stats,
                                          threads)
                   .ok());
@@ -233,7 +232,7 @@ TEST(ReplayScheduler, ThreadsOneMatchesSerial) {
   AppendRandomRmws(&log, 500, kRecords, 5, 11);
 
   // Default-parameter path (today's callers) vs. explicit threads = 1.
-  std::unique_ptr<KVStore> store_default = SeedStore(kRecords);
+  std::unique_ptr<ShardedStore> store_default = SeedStore(kRecords);
   RecoveryStats default_stats;
   ASSERT_TRUE(RecoveryManager::ReplayLog(log, *registry,
                                          store_default.get(), &default_stats)
@@ -260,7 +259,7 @@ TEST(ReplayScheduler, ErrorPropagatesWithoutHanging) {
   log.AppendCommit(101, /*proc_id=*/999, "bogus");
   AppendRandomRmws(&log, 100, kRecords, 4, 4);
 
-  std::unique_ptr<KVStore> store = SeedStore(kRecords);
+  std::unique_ptr<ShardedStore> store = SeedStore(kRecords);
   RecoveryStats stats;
   Status st =
       RecoveryManager::ReplayLog(log, *registry, store.get(), &stats, 4);
@@ -290,7 +289,7 @@ TEST(ReplayScheduler, GenerationStatsBreakdown) {
   std::vector<std::string> files = {f0, f1};
 
   auto run = [&](int threads, RecoveryStats* stats) {
-    std::unique_ptr<KVStore> store = SeedStore(kRecords);
+    std::unique_ptr<ShardedStore> store = SeedStore(kRecords);
     // Simulate a loaded checkpoint whose point of consistency is the
     // token in generation 0.
     stats->checkpoints_loaded = 1;

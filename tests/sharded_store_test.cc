@@ -1,0 +1,367 @@
+// Sharded storage engine (storage/sharded_store.h): key routing and
+// distribution, the O(1) present counter pinned against the scan oracle,
+// at-capacity FindOrCreate races, the shards==1 byte-identity collapse,
+// shard-aligned capture segments, and shard-count-invariant recovery.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "storage/kv_store.h"
+#include "storage/sharded_store.h"
+#include "tests/test_util.h"
+#include "util/crc32.h"
+#include "util/rng.h"
+#include "workload/microbench.h"
+
+namespace calcdb {
+namespace {
+
+using testing_util::DbToMap;
+using testing_util::StateMap;
+using testing_util::TempDir;
+
+TEST(ShardedStoreTest, RoutesEveryKeyToItsShardOfKey) {
+  ShardedStore store(4096, 8);
+  ASSERT_EQ(store.num_shards(), 8u);
+  std::vector<uint64_t> per_shard(8, 0);
+  for (uint64_t k = 0; k < 2000; ++k) {
+    Record* rec = store.FindOrCreate(k * 7919 + 3);
+    ASSERT_NE(rec, nullptr);
+    uint32_t expect = ShardedStore::ShardOfKey(rec->key, 8);
+    EXPECT_EQ(rec->shard, expect);
+    // The owning shard (and only it) holds the slot.
+    EXPECT_EQ(store.shard(expect)->Find(rec->key), rec);
+    EXPECT_EQ(store.Find(rec->key), rec);
+    ++per_shard[expect];
+  }
+  // The multiplicative mix must spread keys: no shard empty, none with
+  // more than 3x its fair share (2000/8 = 250).
+  for (uint32_t s = 0; s < 8; ++s) {
+    EXPECT_GT(per_shard[s], 0u) << "shard " << s << " got no keys";
+    EXPECT_LT(per_shard[s], 750u) << "shard " << s << " is badly skewed";
+  }
+}
+
+TEST(ShardedStoreTest, PerShardIndexSpacesAreDense) {
+  ShardedStore store(1024, 4);
+  for (uint64_t k = 0; k < 400; ++k) {
+    ASSERT_NE(store.FindOrCreate(k), nullptr);
+  }
+  uint64_t total = 0;
+  for (uint32_t s = 0; s < store.num_shards(); ++s) {
+    uint32_t slots = store.shard(s)->NumSlots();
+    total += slots;
+    for (uint32_t i = 0; i < slots; ++i) {
+      Record* rec = store.shard(s)->ByIndex(i);
+      ASSERT_NE(rec, nullptr);
+      EXPECT_EQ(rec->index, i);   // dense, restarts at 0 per shard
+      EXPECT_EQ(rec->shard, s);   // routes back to the owner
+    }
+  }
+  EXPECT_EQ(total, store.TotalSlots());
+  EXPECT_EQ(total, 400u);
+}
+
+// Satellite: KVStore::CountPresent() is an O(1) relaxed counter moved at
+// every absent<->present transition. Pin it against the O(n) scan oracle
+// and an STL reference after a randomized Put/Delete history, on both a
+// bare KVStore and the 8-way facade.
+TEST(ShardedStoreTest, PresentCounterMatchesScanOracle) {
+  Rng rng(20260808);
+  KVStore flat(4096);
+  ShardedStore sharded(4096, 8);
+  std::set<uint64_t> reference;
+  for (int step = 0; step < 6000; ++step) {
+    uint64_t key = rng.Next() % 1500;
+    if ((rng.Next() & 3) != 0) {  // 75% put, 25% delete
+      std::string value = "v" + std::to_string(key);
+      ASSERT_TRUE(flat.Put(key, value).ok());
+      ASSERT_TRUE(sharded.Put(key, value).ok());
+      reference.insert(key);
+    } else {
+      // Deleting an absent key fails without touching the counter.
+      bool present = reference.erase(key) > 0;
+      EXPECT_EQ(flat.Delete(key).ok(), present);
+      EXPECT_EQ(sharded.Delete(key).ok(), present);
+    }
+    if (step % 257 == 0) {
+      EXPECT_EQ(flat.CountPresent(), flat.CountPresentSlow());
+      EXPECT_EQ(sharded.CountPresent(), sharded.CountPresentSlow());
+    }
+  }
+  EXPECT_EQ(flat.CountPresent(), reference.size());
+  EXPECT_EQ(flat.CountPresentSlow(), reference.size());
+  EXPECT_EQ(sharded.CountPresent(), reference.size());
+  EXPECT_EQ(sharded.CountPresentSlow(), reference.size());
+}
+
+// Satellite: concurrent FindOrCreate racing at max_records must return
+// null for the overflow keys without corrupting a bucket chain, leaking
+// a slot, or double-allocating (runs under the ASan and TSan CI legs).
+TEST(ShardedStoreTest, ConcurrentFindOrCreateAtCapacityReturnsNull) {
+  constexpr uint64_t kCapacity = 256;
+  constexpr int kThreads = 8;
+  constexpr uint64_t kKeysPerThread = 96;  // 768 candidates for 256 slots
+  KVStore store(kCapacity);
+  std::vector<std::vector<uint64_t>> created(kThreads);
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      Rng rng(1000 + t);
+      for (uint64_t i = 0; i < kKeysPerThread; ++i) {
+        // Overlapping key ranges so threads race on the same buckets.
+        uint64_t key = rng.Next() % 600;
+        Record* rec = store.FindOrCreate(key);
+        if (rec != nullptr) {
+          EXPECT_EQ(rec->key, key);
+          created[t].push_back(key);
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  // Never over capacity, and each created key resolves to exactly the
+  // slot FindOrCreate handed out (no duplicate live slots, no broken
+  // chains).
+  EXPECT_LE(store.NumSlots(), kCapacity);
+  std::set<uint64_t> keys;
+  for (const auto& per_thread : created) {
+    for (uint64_t key : per_thread) keys.insert(key);
+  }
+  for (uint64_t key : keys) {
+    Record* rec = store.Find(key);
+    ASSERT_NE(rec, nullptr);
+    EXPECT_EQ(rec->key, key);
+    EXPECT_EQ(store.FindOrCreate(key), rec);  // no new slot post-race
+  }
+  // CAS losers abandon their freshly allocated slot as a dead ~0-keyed
+  // record (kv_store.cc's documented bounded leak); every other slot
+  // must hold a distinct created key.
+  std::set<uint64_t> scanned;
+  uint32_t dead = 0;
+  for (uint32_t i = 0; i < store.NumSlots(); ++i) {
+    Record* rec = store.ByIndex(i);
+    if (rec->key == ~uint64_t{0}) {
+      EXPECT_EQ(rec->live, nullptr);  // dead slot carries no value
+      ++dead;
+      continue;
+    }
+    EXPECT_TRUE(scanned.insert(rec->key).second)
+        << "key " << rec->key << " owns two slots";
+  }
+  EXPECT_EQ(scanned, keys);
+  EXPECT_EQ(scanned.size() + dead, store.NumSlots());
+  // A genuinely fresh key is refused at capacity (if full).
+  if (store.NumSlots() == kCapacity) {
+    EXPECT_EQ(store.FindOrCreate(1u << 20), nullptr);
+  }
+}
+
+// The facade refuses inserts beyond the *global* max_records bound even
+// when the owning shard still has headroom slots provisioned.
+TEST(ShardedStoreTest, GlobalCapacityBoundHolds) {
+  ShardedStore store(100, 4);
+  uint64_t accepted = 0;
+  for (uint64_t k = 0; k < 100; ++k) {
+    if (store.FindOrCreate(k) != nullptr) ++accepted;
+  }
+  EXPECT_EQ(accepted, 100u);  // the capacity contract: 100 keys never fail
+  EXPECT_EQ(store.FindOrCreate(7777), nullptr);
+  EXPECT_NE(store.FindOrCreate(42), nullptr);  // existing keys still found
+}
+
+TEST(ShardedStoreTest, ResolveShardsPrecedence) {
+  const char* saved = std::getenv("CALCDB_STORAGE_SHARDS");
+  std::string saved_value = saved != nullptr ? saved : "";
+  // Explicit configuration wins over the environment.
+  ::setenv("CALCDB_STORAGE_SHARDS", "16", 1);
+  EXPECT_EQ(ShardedStore::ResolveShards(4), 4u);
+  EXPECT_EQ(ShardedStore::ResolveShards(1), 1u);
+  EXPECT_EQ(ShardedStore::ResolveShards(0), 16u);
+  ::unsetenv("CALCDB_STORAGE_SHARDS");
+  EXPECT_EQ(ShardedStore::ResolveShards(0), 1u);
+  if (saved != nullptr) {
+    ::setenv("CALCDB_STORAGE_SHARDS", saved_value.c_str(), 1);
+  }
+}
+
+template <typename T>
+void AppendPod(std::string* out, T v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+// storage_shards=1 must collapse to the legacy single-store engine with
+// byte-identical checkpoint streams: expected bytes are constructed from
+// the *insertion order* alone (the pre-shard dense index order), not by
+// iterating the store.
+TEST(ShardedStoreCheckpointTest, SingleShardCheckpointIsByteIdentical) {
+  TempDir dir;
+  Options options;
+  options.max_records = 2048;
+  options.algorithm = CheckpointAlgorithm::kCalc;
+  options.checkpoint_dir = dir.path();
+  options.disk_bytes_per_sec = 0;
+  options.capture_threads = 1;
+  options.storage_shards = 1;  // explicit: wins over CALCDB_STORAGE_SHARDS
+  std::unique_ptr<Database> db;
+  ASSERT_TRUE(Database::Open(options, &db).ok());
+  std::vector<std::pair<uint64_t, std::string>> loaded;
+  for (uint64_t k = 0; k < 64; ++k) {
+    uint64_t key = k * 1315423911ULL;  // scattered keys, insertion-ordered
+    std::string value(5 + static_cast<size_t>(k % 17), 'a' + (k % 26));
+    ASSERT_TRUE(db->Load(key, value).ok());
+    loaded.emplace_back(key, value);
+  }
+  ASSERT_TRUE(db->Start().ok());
+  ASSERT_TRUE(db->Checkpoint().ok());
+
+  std::vector<CheckpointInfo> list = db->checkpoint_storage()->List();
+  ASSERT_EQ(list.size(), 1u);
+  ASSERT_TRUE(list[0].segments.empty()) << "one shard must not segment";
+
+  std::string expected;
+  expected.append("CALCKPT1", 8);
+  AppendPod<uint32_t>(&expected, 1);  // format version
+  AppendPod<uint8_t>(&expected, 0);   // CheckpointType::kFull
+  AppendPod<uint64_t>(&expected, list[0].id);
+  AppendPod<uint64_t>(&expected, list[0].vpoc_lsn);
+  std::string entries;
+  for (const auto& [key, value] : loaded) {
+    AppendPod<uint64_t>(&entries, key);
+    AppendPod<uint8_t>(&entries, 0);  // flags: not a tombstone
+    AppendPod<uint32_t>(&entries, static_cast<uint32_t>(value.size()));
+    entries.append(value);
+  }
+  expected += entries;
+  AppendPod<uint64_t>(&expected, ~uint64_t{0});  // footer sentinel key
+  AppendPod<uint8_t>(&expected, 0xFF);           // footer flags
+  AppendPod<uint64_t>(&expected, loaded.size());
+  AppendPod<uint32_t>(&expected, Crc32(entries.data(), entries.size()));
+
+  std::string actual;
+  FILE* f = fopen(list[0].path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  char buf[4096];
+  size_t n;
+  while ((n = fread(buf, 1, sizeof(buf), f)) > 0) actual.append(buf, n);
+  fclose(f);
+  EXPECT_EQ(actual, expected);
+}
+
+// shards>1 always captures one segment per shard (segment K holds shard
+// K's records and nothing else), regardless of capture_threads.
+TEST(ShardedStoreCheckpointTest, SegmentsAlignWithShards) {
+  constexpr uint32_t kShards = 4;
+  TempDir dir;
+  Options options;
+  options.max_records = 2048;
+  options.algorithm = CheckpointAlgorithm::kCalc;
+  options.checkpoint_dir = dir.path();
+  options.disk_bytes_per_sec = 0;
+  options.capture_threads = 2;  // deliberately != storage_shards
+  options.storage_shards = kShards;
+  std::unique_ptr<Database> db;
+  ASSERT_TRUE(Database::Open(options, &db).ok());
+  StateMap expected;
+  for (uint64_t k = 0; k < 500; ++k) {
+    uint64_t key = k * 2654435761ULL + 11;
+    std::string value = "val" + std::to_string(k);
+    ASSERT_TRUE(db->Load(key, value).ok());
+    expected[key] = value;
+  }
+  ASSERT_TRUE(db->Start().ok());
+  ASSERT_TRUE(db->Checkpoint().ok());
+
+  std::vector<CheckpointInfo> list = db->checkpoint_storage()->List();
+  ASSERT_EQ(list.size(), 1u);
+  ASSERT_EQ(list[0].segments.size(), kShards);
+
+  StateMap captured;
+  for (uint32_t seg = 0; seg < kShards; ++seg) {
+    CheckpointFileReader reader;
+    ASSERT_TRUE(reader.Open(list[0].segments[seg]).ok());
+    ASSERT_TRUE(reader
+                    .ReadAll([&](const CheckpointEntry& e) -> Status {
+                      EXPECT_EQ(ShardedStore::ShardOfKey(e.key, kShards),
+                                seg)
+                          << "segment " << seg
+                          << " holds a foreign shard's key " << e.key;
+                      EXPECT_FALSE(e.tombstone);
+                      captured[e.key] = e.value;
+                      return Status::OK();
+                    })
+                    .ok());
+  }
+  EXPECT_EQ(captured, expected);
+}
+
+// Recovery is shard-count invariant: a checkpoint chain + command log
+// written by an 8-shard engine recovers to the same state on a 1-shard
+// engine, and vice versa — the stream is keyed, never slot-addressed.
+TEST(ShardedStoreRecoveryTest, RecoveryIsShardCountInvariant) {
+  TempDir dir;
+  MicrobenchConfig config;
+  config.num_records = 600;
+  config.value_size = 48;
+  config.ops_per_txn = 6;
+  config.hot_fraction = 0.25;
+
+  Options options;
+  options.max_records = config.num_records + 64;
+  options.algorithm = CheckpointAlgorithm::kCalc;
+  options.checkpoint_dir = dir.path();
+  options.disk_bytes_per_sec = 0;
+  options.storage_shards = 8;
+
+  std::string log_path = dir.path() + "/commandlog";
+  StateMap pre_crash;
+  {
+    std::unique_ptr<Database> db;
+    ASSERT_TRUE(Database::Open(options, &db).ok());
+    ASSERT_TRUE(SetupMicrobench(db.get(), config).ok());
+    ASSERT_TRUE(db->WriteBaseCheckpoint().ok());
+    ASSERT_TRUE(db->Start().ok());
+    MicrobenchWorkload workload(config);
+    Rng rng(99);
+    for (int i = 0; i < 150; ++i) {
+      TxnRequest req = workload.Next(rng);
+      ASSERT_TRUE(
+          db->executor()->Execute(req.proc_id, std::move(req.args), 0).ok());
+      if (i == 80) ASSERT_TRUE(db->Checkpoint().ok());
+    }
+    pre_crash = DbToMap(db.get());
+    ASSERT_TRUE(db->commit_log()->PersistTo(log_path).ok());
+  }  // crash
+
+  for (int shards : {8, 1}) {
+    Options recover_options = options;
+    recover_options.storage_shards = shards;
+    std::unique_ptr<Database> recovered;
+    ASSERT_TRUE(Database::Open(recover_options, &recovered).ok());
+    recovered->registry()->Register(
+        std::make_unique<RmwProcedure>(config.value_size));
+    recovered->registry()->Register(
+        std::make_unique<BatchWriteProcedure>(config.value_size));
+    CommitLog replay_log;
+    ASSERT_TRUE(replay_log.LoadFrom(log_path).ok());
+    RecoveryStats stats;
+    ASSERT_TRUE(recovered->Recover(&replay_log, &stats).ok());
+    ASSERT_TRUE(recovered->Start().ok());
+    EXPECT_EQ(DbToMap(recovered.get()), pre_crash)
+        << "recovered with storage_shards=" << shards;
+    EXPECT_EQ(recovered->store()->CountPresent(),
+              recovered->store()->CountPresentSlow());
+  }
+}
+
+}  // namespace
+}  // namespace calcdb

@@ -131,15 +131,13 @@ inline Status ChainToMap(const std::vector<CheckpointInfo>& chain,
 /// checkpointer's read hook (authoritative for Zigzag).
 inline StateMap DbToMap(Database* db) {
   StateMap out;
-  uint32_t slots = db->store()->NumSlots();
-  for (uint32_t idx = 0; idx < slots; ++idx) {
-    Record* rec = db->store()->ByIndex(idx);
-    if (rec->key == ~uint64_t{0}) continue;
+  db->store()->ForEachRecord([&](Record* rec) {
+    if (rec->key == ~uint64_t{0}) return;
     std::string value;
     if (db->Read(rec->key, &value).ok()) {
       out[rec->key] = std::move(value);
     }
-  }
+  });
   return out;
 }
 

@@ -19,11 +19,19 @@ ISSUE/CONTRIBUTING "Correctness tooling"):
                           CALCDB_NO_THREAD_SAFETY_ANALYSIS (clang's analysis
                           or its documented opt-out), or carry a
                           naked-lock-ok(<reason>) comment. Everything else
-                          uses SpinLatchGuard.
+                          uses SpinLatchGuard. Recognizes per-shard latch
+                          members — lock calls on indexed latch-array
+                          elements (stripes_[shard][stripe].Lock() and kin,
+                          txn/lock_manager.h) — and reminds about the
+                          (shard, stripe) lexicographic acquisition order
+                          those arrays require.
   phase-token-latch       PhaseController::SetPhase is only called from
                           CommitLog::AppendPhaseTransition (under the
                           commit-log latch): phase visibility must be atomic
-                          with the token append (paper §2.2).
+                          with the token append (paper §2.2). Matches
+                          member, indexed per-shard controller
+                          (phases_[s]->SetPhase) and implicit-this
+                          spellings.
   header-guard            Header guards follow CALCDB_<PATH>_<FILE>_H_
                           with a matching trailing '#endif  // GUARD'.
   include-hygiene         Project includes are root-relative (no "../", no
@@ -49,10 +57,15 @@ ISSUE/CONTRIBUTING "Correctness tooling"):
 A finding can be waived per line with a trailing comment:
     // lint:allow(<rule-id>): <justification>
 
+Fixture mode: `--fixtures <dir>` lints every .cc/.h under <dir>, where
+each file's leading `// expect-lint: <rules...>` header declares the
+exact rule set that must fire on it (`none` for a clean exemplar); any
+mismatch in either direction fails the run.
+
 Usage:
-    lint_concurrency.py [--self-test] [paths...]
+    lint_concurrency.py [--self-test] [--fixtures dir] [paths...]
 Paths default to the src/ directory next to this script's repo root.
-Exit status: 0 clean, 1 findings (or self-test failure).
+Exit status: 0 clean, 1 findings (or self-test/fixture failure).
 """
 
 import os
@@ -83,7 +96,12 @@ REFCOUNT_SUB_RE = re.compile(
     r"(?:\.|->)?(\w*(?:refs?_|refcount\w*|ref_count\w*))\s*"
     r"(?:\.|->)fetch_sub\s*\("
 )
-SET_PHASE_RE = re.compile(r"(?:\.|->)SetPhase\s*\(")
+# Member calls (pc->SetPhase, phases_[s].SetPhase) and implicit-this
+# calls (SetPhase(...) inside a controller method). The 1-char negative
+# lookbehind still admits '.' and '>' receivers while rejecting both
+# longer identifiers (MySetPhase) and '::'-qualified out-of-line
+# definitions.
+SET_PHASE_RE = re.compile(r"(?<![\w:])SetPhase\s*\(")
 ANNOTATION_RE = re.compile(
     r"CALCDB_(?:NO_THREAD_SAFETY_ANALYSIS|ACQUIRE|RELEASE|"
     r"ACQUIRE_SHARED|RELEASE_SHARED|TRY_ACQUIRE)"
@@ -295,6 +313,16 @@ def check_obs_relaxed(path, code, raw_lines):
     return findings
 
 
+def receiver_is_indexed(code, match_start):
+    """True when the lock call's receiver is an indexed array element
+    (a per-shard / striped latch array: stripes_[shard][stripe].Lock()).
+    Skims back over whitespace to the character before the '.'/'->'."""
+    i = match_start - 1
+    while i >= 0 and code[i] in " \t\n":
+        i -= 1
+    return i >= 0 and code[i] == "]"
+
+
 def check_naked_lock(path, code, raw_lines):
     if path.replace(os.sep, "/").endswith("util/latch.h"):
         return []  # the primitive's own definition
@@ -307,6 +335,17 @@ def check_naked_lock(path, code, raw_lines):
         lo = max(0, lineno - 1 - ANNOTATION_LOOKBACK)
         context = "\n".join(code_lines[lo:lineno])
         if ANNOTATION_RE.search(context):
+            continue
+        if receiver_is_indexed(code, m.start()):
+            findings.append(Finding(
+                path, lineno, "naked-lock",
+                f"naked {m.group(1)}() on an indexed per-shard latch "
+                "member: striped latch arrays are acquired in (shard, "
+                "stripe) lexicographic order from annotated LockManager "
+                "methods only (txn/lock_manager.h); annotate the "
+                "enclosing function with CALCDB_ACQUIRE/CALCDB_RELEASE/"
+                "CALCDB_NO_THREAD_SAFETY_ANALYSIS or add "
+                "// naked-lock-ok(<reason>)"))
             continue
         findings.append(Finding(
             path, lineno, "naked-lock",
@@ -375,6 +414,8 @@ def check_phase_token(path, code, raw_lines):
     norm = path.replace(os.sep, "/")
     if norm.endswith("log/commit_log.cc"):
         return []  # the one sanctioned call site (under the log latch)
+    if norm.endswith("checkpoint/phase.h"):
+        return []  # the method's own declaration/definition
     findings = []
     for m in SET_PHASE_RE.finditer(code):
         lineno = line_of(code, m.start())
@@ -383,9 +424,9 @@ def check_phase_token(path, code, raw_lines):
         findings.append(Finding(
             path, lineno, "phase-token-latch",
             "SetPhase() outside CommitLog::AppendPhaseTransition: phase "
-            "transitions must be written under the commit-log latch, "
-            "atomically with their log token (paper §2.2; see "
-            "src/checkpoint/phase.h)"))
+            "transitions — per-shard controllers included — must be "
+            "written under the commit-log latch, atomically with their "
+            "log token (paper §2.2; see src/checkpoint/phase.h)"))
     return findings
 
 
@@ -509,8 +550,30 @@ SELF_TEST_CASES = [
     ("naked-lock", False, "c.cc",
      "void F() {\n  latch_.Lock();  // naked-lock-ok(guard type itself)\n"
      "  latch_.Unlock();  // naked-lock-ok(guard type itself)\n}\n"),
+    ("naked-lock", True, "c.cc",
+     "void F(size_t s, size_t j) { stripes_[s][j].Lock(); }\n"),
+    ("naked-lock", True, "c.cc",
+     "void F(const StripeLock& sl) {\n"
+     "  shards_[sl.shard][sl.stripe]\n      .LockShared();\n}\n"),
+    ("naked-lock", False, "c.cc",
+     "void F(const LockSet& set) CALCDB_NO_THREAD_SAFETY_ANALYSIS {\n"
+     "  for (const StripeLock& sl : set) {\n"
+     "    shards_[sl.shard][sl.stripe].Lock();\n"
+     "  }\n}\n"),
     ("phase-token-latch", True, "checkpoint/x.cc",
      "void F(PhaseController* pc) { pc->SetPhase(Phase::kRest); }\n"),
+    ("phase-token-latch", True, "checkpoint/x.cc",
+     "void F(uint32_t s) { phases_[s]->SetPhase(Phase::kRest); }\n"),
+    ("phase-token-latch", True, "checkpoint/x.cc",
+     "void PhaseFanout::F(Phase p) { SetPhase(p); }\n"),
+    ("phase-token-latch", False, "checkpoint/x.cc",
+     "void F(PhaseController* pc) { pc->MySetPhase(Phase::kRest); }\n"),
+    ("phase-token-latch", False, "checkpoint/phase.h",
+     "#ifndef CALCDB_CHECKPOINT_PHASE_H_\n"
+     "#define CALCDB_CHECKPOINT_PHASE_H_\n"
+     "class PhaseController {\n"
+     " public:\n  void SetPhase(Phase p) { phase_ = p; }\n};\n"
+     "#endif  // CALCDB_CHECKPOINT_PHASE_H_\n"),
     ("phase-token-latch", False, "log/commit_log.cc",
      "void F(PhaseController* pc) { pc->SetPhase(Phase::kRest); }\n"),
     ("header-guard", True, "util/bad.h",
@@ -592,9 +655,65 @@ def self_test():
     return 0
 
 
+CONCURRENCY_RULES = {
+    "atomic-explicit-order", "refcount-acq-rel", "naked-lock",
+    "phase-token-latch", "header-guard", "include-hygiene",
+    "obs-relaxed-order", "crash-point-registered",
+}
+
+EXPECT_RE = re.compile(r"expect-lint:\s*([\w\- ]+)")
+
+
+def run_fixtures(fixture_dir):
+    """Every fixture file must fire exactly its declared rule set."""
+    failures = []
+    checked = 0
+    for dirpath, _, filenames in os.walk(fixture_dir):
+        for name in sorted(filenames):
+            if not name.endswith((".h", ".cc")):
+                continue
+            path = os.path.join(dirpath, name)
+            with open(path, encoding="utf-8") as f:
+                head = f.read(4096)
+            m = EXPECT_RE.search(head)
+            if not m:
+                failures.append(
+                    f"{path}: missing '// expect-lint:' header")
+                continue
+            expected = set(m.group(1).split()) - {"none"}
+            unknown = expected - CONCURRENCY_RULES
+            if unknown:
+                failures.append(
+                    f"{path}: unknown rule(s) {sorted(unknown)}")
+                continue
+            findings = lint_file(path, fixture_dir)
+            fired = {f.rule for f in findings}
+            if fired != expected:
+                failures.append(
+                    f"{path}: expected {sorted(expected) or ['none']}, "
+                    f"fired {sorted(fired) or ['none']}:\n    " +
+                    "\n    ".join(str(f) for f in findings))
+            checked += 1
+    if failures:
+        print("lint_concurrency fixtures FAILED:")
+        for f in failures:
+            print("  " + f)
+        return 1
+    print(f"lint_concurrency fixtures: {checked} file(s) behaved as "
+          "declared")
+    return 0
+
+
 def main(argv):
     if "--self-test" in argv:
         return self_test()
+    if "--fixtures" in argv:
+        idx = argv.index("--fixtures")
+        if idx + 1 >= len(argv):
+            print("lint_concurrency: --fixtures needs a directory",
+                  file=sys.stderr)
+            return 2
+        return run_fixtures(argv[idx + 1])
     paths = [a for a in argv if not a.startswith("-")]
     if not paths:
         repo_root = os.path.dirname(os.path.dirname(

@@ -37,6 +37,7 @@ REQUIRED_OPTIONS = [
     "ckpt_read_ahead_bytes",
     "recovery_threads",
     "replay_threads",
+    "storage_shards",
     "log_read_ahead_bytes",
     "command_log_path",
     "command_log_flush_ms",
@@ -186,6 +187,7 @@ struct Options {
   size_t ckpt_read_ahead_bytes = 1 << 20;
   int recovery_threads = 0;
   int replay_threads = 0;
+  int storage_shards = 0;
   size_t log_read_ahead_bytes = 1 << 20;
   std::string command_log_path;
   int command_log_flush_ms = 10;
@@ -199,6 +201,7 @@ GOOD_DOC = """\
 | `ckpt_read_ahead_bytes` | `1 << 20` | d |
 | `recovery_threads` | `0` | d |
 | `replay_threads` | `0` | d |
+| `storage_shards` | `0` | d |
 | `log_read_ahead_bytes` | `1 << 20` | d |
 | `command_log_path` | `""` | d |
 | `command_log_flush_ms` | `10` | d |

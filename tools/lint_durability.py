@@ -538,8 +538,10 @@ def lint_file(path, root, status_fns):
 def iter_tree(root):
     for dirpath, dirnames, filenames in os.walk(root):
         # Fixture snippets are known-bad on purpose; they are linted
-        # only via --fixtures.
-        dirnames[:] = [d for d in dirnames if d != "lint_fixtures"]
+        # only via their linter's --fixtures mode (lint_fixtures/ here,
+        # lint_fixtures_concurrency/ by lint_concurrency.py).
+        dirnames[:] = [d for d in dirnames
+                       if not d.startswith("lint_fixtures")]
         for name in sorted(filenames):
             if name.endswith((".h", ".cc")):
                 yield os.path.join(dirpath, name)
